@@ -1,0 +1,37 @@
+#ifndef LLB_BENCH_BENCH_UTIL_H_
+#define LLB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace llb::benchutil {
+
+/// Benchmarks abort on unexpected engine errors.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
+    abort();
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "FATAL (%s): %s\n", what,
+            result.status().ToString().c_str());
+    abort();
+  }
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace llb::benchutil
+
+#endif  // LLB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// Experiment X3 (paper section 6.2, Application Read Operations and
+// Backup): "If applications are the last objects included in a backup, we
+// guarantee that the dagger property holds ..., and no Iw/oF logging is
+// incurred for backup."
+//
+// The same application-recovery workload (messages written physically,
+// R(X, A) and Ex(A) logged logically) runs during a backup twice:
+// applications placed LAST in the backup order vs FIRST. Expect zero
+// identity writes for apps-last, nonzero for apps-first.
+
+#include <cstdio>
+#include <memory>
+
+#include "apprec/app_recovery.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "sim/harness.h"
+
+namespace llb {
+namespace {
+
+using benchutil::Check;
+using benchutil::CheckResult;
+
+struct RunResult {
+  uint64_t decisions = 0;
+  uint64_t identity_writes = 0;
+};
+
+RunResult Run(bool apps_last, uint32_t steps) {
+  constexpr uint32_t kPages = 2048;
+  constexpr uint32_t kMsgs = 512;
+  constexpr uint32_t kApps = 16;
+
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = kPages;
+  options.cache_pages = 1024;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  std::unique_ptr<TestEngine> engine =
+      CheckResult(TestEngine::Create(options), "create");
+
+  uint32_t msg_base = apps_last ? 0 : kApps;
+  uint32_t app_base = apps_last ? kPages - kApps : 0;
+  AppRecovery apps(engine->db(), 0, msg_base, kMsgs, app_base, kApps);
+  for (uint32_t a = 0; a < kApps; ++a) Check(apps.InitApp(a), "init");
+  Check(engine->db()->FlushAll(), "flush");
+  engine->db()->ResetStats();
+
+  Random rng(apps_last ? 5 : 6);
+  BackupJobOptions job;
+  job.steps = steps;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (int i = 0; i < 80; ++i) {
+      uint32_t app = static_cast<uint32_t>(rng.Uniform(kApps));
+      uint32_t msg = static_cast<uint32_t>(rng.Uniform(kMsgs));
+      LLB_RETURN_IF_ERROR(apps.WriteMessage(msg, rng.Next()));
+      LLB_RETURN_IF_ERROR(apps.Read(app, msg));
+      LLB_RETURN_IF_ERROR(apps.Exec(app, rng.Next()));
+      // Flush both the message and the app state, exercising the
+      // decision path for each.
+      LLB_RETURN_IF_ERROR(engine->db()->FlushPage(apps.AppPage(app)));
+      LLB_RETURN_IF_ERROR(engine->db()->FlushPage(apps.MsgPage(msg)));
+    }
+    return Status::OK();
+  };
+  Check(engine->db()->TakeBackupWithOptions("bk", job).status(), "backup");
+  DbStats stats = engine->db()->GatherStats();
+  return RunResult{stats.cache.decisions, stats.cache.identity_writes};
+}
+
+void Main() {
+  benchutil::PrintHeader(
+      "X3 (paper 6.2): application read ops — backup order ablation");
+  printf("%-12s %6s %12s %16s %10s\n", "layout", "steps", "decisions",
+         "identity_writes", "p_log");
+  for (uint32_t steps : {1u, 4u, 8u}) {
+    for (bool apps_last : {true, false}) {
+      RunResult r = Run(apps_last, steps);
+      printf("%-12s %6u %12llu %16llu %10.4f\n",
+             apps_last ? "apps-last" : "apps-first", steps,
+             static_cast<unsigned long long>(r.decisions),
+             static_cast<unsigned long long>(r.identity_writes),
+             r.decisions ? double(r.identity_writes) / r.decisions : 0.0);
+    }
+  }
+  printf("\nexpected: apps-last incurs ZERO Iw/oF logging (the dagger "
+         "property always holds);\napps-first pays for every "
+         "application-state flush whose messages are still pending.\n");
+}
+
+}  // namespace
+}  // namespace llb
+
+int main() {
+  llb::Main();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Experiment X4 (paper sections 1.3-1.4): update throughput under
+// different backup strategies.
+//
+//   no_backup     — baseline insert throughput.
+//   async_backup  — the paper's protocol: a backup sweep runs
+//                   concurrently, loosely coupled through the backup
+//                   latch and Iw/oF logging. Throughput should stay near
+//                   the baseline.
+//   linked_flush  — the strawman the paper rejects ("a completely
+//                   unrealistic solution"): every operation's dirty pages
+//                   are synchronously flushed to S *and* copied to B
+//                   before the next operation starts.
+//   offline       — updates stop entirely while the backup runs; measured
+//                   as backup duration (throughput during it is zero).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "btree/btree.h"
+#include "sim/harness.h"
+
+namespace llb {
+namespace {
+
+using benchutil::Check;
+using benchutil::CheckResult;
+
+constexpr uint32_t kPages = 2048;
+
+std::unique_ptr<TestEngine> NewEngine() {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = kPages;
+  options.cache_pages = 256;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  options.backup_steps = 8;
+  return CheckResult(TestEngine::Create(options), "create");
+}
+
+void BM_Updates_NoBackup(benchmark::State& state) {
+  std::unique_ptr<TestEngine> engine = NewEngine();
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  Check(tree.Create(), "create");
+  int64_t key = 0;
+  for (auto _ : state) {
+    Check(tree.Insert((key++ * 2654435761) % 20011, Slice("payload")),
+          "insert");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Updates_NoBackup)->Unit(benchmark::kMicrosecond);
+
+void BM_Updates_DuringAsyncBackup(benchmark::State& state) {
+  std::unique_ptr<TestEngine> engine = NewEngine();
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  Check(tree.Create(), "create");
+  // Continuous backups on a second thread: the worst case for the
+  // protocol (a backup is always active, maximizing Iw/oF exposure).
+  std::atomic<bool> stop{false};
+  std::thread backup_thread([&]() {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status s =
+          engine->db()->TakeBackup("bk" + std::to_string(round++)).status();
+      if (!s.ok()) break;
+    }
+  });
+  int64_t key = 0;
+  for (auto _ : state) {
+    Check(tree.Insert((key++ * 2654435761) % 20011, Slice("payload")),
+          "insert");
+  }
+  stop.store(true);
+  backup_thread.join();
+  state.SetItemsProcessed(state.iterations());
+  DbStats stats = engine->db()->GatherStats();
+  state.counters["iwof_per_1k_ops"] =
+      1000.0 * static_cast<double>(stats.cache.identity_writes) /
+      static_cast<double>(state.iterations());
+  state.counters["flush_decisions_per_1k_ops"] =
+      1000.0 * static_cast<double>(stats.cache.decisions) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Updates_DuringAsyncBackup)->Unit(benchmark::kMicrosecond);
+
+void BM_Updates_LinkedFlush(benchmark::State& state) {
+  std::unique_ptr<TestEngine> engine = NewEngine();
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  Check(tree.Create(), "create");
+  // The "linked flush" strawman: keep B in lock-step with S by flushing
+  // after every operation and synchronously copying the flushed pages.
+  std::unique_ptr<PageStore> linked_b = CheckResult(
+      PageStore::Open(engine->env(), "linked_backup", 1), "open B");
+  int64_t key = 0;
+  for (auto _ : state) {
+    Check(tree.Insert((key++ * 2654435761) % 20011, Slice("payload")),
+          "insert");
+    Check(engine->db()->FlushAll(), "linked flush to S");
+    // Copy every page the flush touched to B, synchronously.
+    for (uint32_t page = 0; page < 64; ++page) {
+      PageImage image;
+      Check(engine->db()->stable()->ReadPage(PageId{0, page}, &image),
+            "read");
+      Check(linked_b->WritePage(PageId{0, page}, image), "write B");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Updates_LinkedFlush)->Unit(benchmark::kMicrosecond);
+
+void BM_BackupDuration_Offline(benchmark::State& state) {
+  std::unique_ptr<TestEngine> engine = NewEngine();
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  Check(tree.Create(), "create");
+  for (int64_t k = 0; k < 3000; ++k) {
+    Check(tree.Insert(k, Slice("payload")), "insert");
+  }
+  Check(engine->db()->FlushAll(), "flush");
+  int round = 0;
+  for (auto _ : state) {
+    Check(engine->db()
+              ->TakeBackup("off" + std::to_string(round++))
+              .status(),
+          "backup");
+  }
+  state.counters["pages"] = kPages;
+}
+BENCHMARK(BM_BackupDuration_Offline)->Unit(benchmark::kMillisecond);
+
+void BM_BackupDuration_Online(benchmark::State& state) {
+  std::unique_ptr<TestEngine> engine = NewEngine();
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  Check(tree.Create(), "create");
+  for (int64_t k = 0; k < 3000; ++k) {
+    Check(tree.Insert(k, Slice("payload")), "insert");
+  }
+  Check(engine->db()->FlushAll(), "flush");
+  int64_t key = 100000;
+  int round = 0;
+  for (auto _ : state) {
+    // Updates run inside the sweep via the mid-step hook (deterministic
+    // "concurrency" so the measurement is stable).
+    BackupJobOptions job;
+    job.steps = 8;
+    job.mid_step = [&](PartitionId, uint32_t) -> Status {
+      for (int i = 0; i < 25; ++i) {
+        LLB_RETURN_IF_ERROR(
+            tree.Insert(100000 + (key++ % 3000), Slice("payload")));
+      }
+      return Status::OK();
+    };
+    Check(engine->db()
+              ->TakeBackupWithOptions("on" + std::to_string(round++), job)
+              .status(),
+          "backup");
+  }
+  state.counters["pages"] = kPages;
+}
+BENCHMARK(BM_BackupDuration_Online)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace llb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Ablation X5: the synchronization-granularity trade-off of paper 3.4 —
+// "we can vary the granularity of synchronization from twice per backup
+// ... to many times, depending on the urgency to reduce the additional
+// logging activity".
+//
+// More steps mean finer fences (less Iw/oF logging, Figure 5) but more
+// exclusive acquisitions of the backup latch and more synchronization
+// with the cache manager. This harness sweeps N and reports both sides
+// of the trade plus backup wall time, for the general and tree policies.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/harness.h"
+#include "sim/workload.h"
+
+namespace llb {
+namespace {
+
+using benchutil::Check;
+using benchutil::CheckResult;
+
+struct Row {
+  uint64_t fence_updates = 0;
+  uint64_t identity_writes = 0;
+  uint64_t identity_bytes = 0;
+  uint64_t total_log_bytes = 0;
+  double backup_ms = 0;
+};
+
+Row RunOnce(BackupPolicy policy, WriteGraphKind graph, uint32_t steps,
+            uint64_t seed) {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = 4096;
+  options.cache_pages = 1024;
+  options.graph = graph;
+  options.backup_policy = policy;
+  std::unique_ptr<TestEngine> engine =
+      CheckResult(TestEngine::Create(options), "create");
+
+  std::unique_ptr<GeneralUniformDriver> general;
+  std::unique_ptr<TreeUniformDriver> tree;
+  if (policy == BackupPolicy::kGeneral) {
+    general = std::make_unique<GeneralUniformDriver>(engine->db(), 0, 4096,
+                                                     seed);
+    for (int i = 0; i < 100; ++i) Check(general->Step(), "warm");
+  } else {
+    tree = std::make_unique<TreeUniformDriver>(engine->db(), 0, 4096, seed);
+    for (int i = 0; i < 50; ++i) Check(tree->Step(), "warm");
+  }
+  engine->db()->ResetStats();
+
+  BackupJobOptions job;
+  job.steps = steps;
+  uint32_t ops_per_step = 512 / steps + 1;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (uint32_t i = 0; i < ops_per_step; ++i) {
+      if (general) {
+        LLB_RETURN_IF_ERROR(general->Step());
+      } else {
+        LLB_RETURN_IF_ERROR(tree->Step());
+      }
+    }
+    return Status::OK();
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  Check(engine->db()->TakeBackupWithOptions("bk", job).status(), "backup");
+  auto t1 = std::chrono::steady_clock::now();
+
+  DbStats stats = engine->db()->GatherStats();
+  Row row;
+  row.fence_updates = stats.backup_fence_updates;
+  row.identity_writes = stats.cache.identity_writes;
+  row.identity_bytes = stats.log.identity_bytes;
+  row.total_log_bytes = stats.log.bytes;
+  row.backup_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return row;
+}
+
+void Sweep(const char* name, BackupPolicy policy, WriteGraphKind graph) {
+  benchutil::PrintHeader(std::string("X5 ablation (") + name +
+                         "): step granularity vs logging vs sync cost");
+  printf("%5s %14s %16s %16s %14s %12s\n", "N", "fence_updates",
+         "identity_writes", "identity_bytes", "log_overhead", "backup_ms");
+  for (uint32_t steps : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    Row row = RunOnce(policy, graph, steps, 42 + steps);
+    printf("%5u %14llu %16llu %16llu %13.1f%% %12.1f\n", steps,
+           static_cast<unsigned long long>(row.fence_updates),
+           static_cast<unsigned long long>(row.identity_writes),
+           static_cast<unsigned long long>(row.identity_bytes),
+           100.0 * static_cast<double>(row.identity_bytes) /
+               static_cast<double>(row.total_log_bytes),
+           row.backup_ms);
+  }
+}
+
+}  // namespace
+}  // namespace llb
+
+int main() {
+  llb::Sweep("general ops", llb::BackupPolicy::kGeneral,
+             llb::WriteGraphKind::kGeneral);
+  llb::Sweep("tree ops", llb::BackupPolicy::kTree, llb::WriteGraphKind::kTree);
+  printf("\npaper 5.3: \"most of the reduction ... has been achieved with "
+         "an eight step backup,\nso there is little incentive to further "
+         "increase the number of backup steps\" —\nwhile fence updates "
+         "(exclusive latch traffic) keep growing linearly with N.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Application recovery (paper sections 1.1 and 6.2): application state
+// transitions logged as Ex(A) and R(X, A) — no state or message values on
+// the log — plus the backup-order trick: applications placed LAST in the
+// backup order never need Iw/oF logging during a backup.
+
+#include <cstdio>
+#include <memory>
+
+#include "apprec/app_recovery.h"
+#include "common/random.h"
+#include "sim/harness.h"
+
+using namespace llb;  // examples only
+
+namespace {
+
+uint64_t RunWorkloadWithBackup(bool apps_last) {
+  constexpr uint32_t kPages = 1024;
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = kPages;
+  options.cache_pages = 512;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  auto engine_or = TestEngine::Create(options, "appdemo");
+  if (!engine_or.ok()) return ~0ull;
+  std::unique_ptr<TestEngine> engine = std::move(engine_or).value();
+
+  AppRecovery apps(engine->db(), 0,
+                   /*msg_base=*/apps_last ? 0 : 8, /*num_msgs=*/256,
+                   /*app_base=*/apps_last ? kPages - 8 : 0, /*num_apps=*/8);
+  for (uint32_t a = 0; a < 8; ++a) {
+    if (!apps.InitApp(a).ok()) return ~0ull;
+  }
+  if (!engine->db()->FlushAll().ok()) return ~0ull;
+  engine->db()->ResetStats();
+
+  Random rng(3);
+  BackupJobOptions job;
+  job.steps = 8;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (int i = 0; i < 40; ++i) {
+      uint32_t app = static_cast<uint32_t>(rng.Uniform(8));
+      uint32_t msg = static_cast<uint32_t>(rng.Uniform(256));
+      LLB_RETURN_IF_ERROR(apps.WriteMessage(msg, rng.Next()));
+      LLB_RETURN_IF_ERROR(apps.Read(app, msg));
+      LLB_RETURN_IF_ERROR(apps.Exec(app, rng.Next()));
+      LLB_RETURN_IF_ERROR(engine->db()->FlushPage(apps.AppPage(app)));
+      LLB_RETURN_IF_ERROR(engine->db()->FlushPage(apps.MsgPage(msg)));
+    }
+    return Status::OK();
+  };
+  if (!engine->db()->TakeBackupWithOptions("appbk", job).status().ok()) {
+    return ~0ull;
+  }
+  return engine->db()->GatherStats().cache.identity_writes;
+}
+
+}  // namespace
+
+int main() {
+  // Part 1: recoverable application state without logging values.
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = 1024;
+  options.cache_pages = 128;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  auto engine_or = TestEngine::Create(options, "appmain");
+  if (!engine_or.ok()) return 1;
+  std::unique_ptr<TestEngine> engine = std::move(engine_or).value();
+
+  AppRecovery apps(engine->db(), 0, 0, 256, 1016, 8);
+  if (!apps.InitApp(0).ok()) return 1;
+  for (int i = 0; i < 50; ++i) {
+    if (!apps.WriteMessage(i, i * 101).ok()) return 1;
+    if (!apps.Read(0, i).ok()) return 1;      // R(X, A): ids only logged
+    if (!apps.Exec(0, i * 7).ok()) return 1;  // Ex(A)
+  }
+  auto digest_or = apps.AppDigest(0);
+  if (!digest_or.ok()) return 1;
+  printf("application consumed 50 messages; state digest %016llx "
+         "(the R and Ex log records carry no values)\n",
+         static_cast<unsigned long long>(*digest_or));
+
+  // Crash without flushing anything: the application's state is rebuilt
+  // by re-running its logged read/execute history.
+  if (!engine->db()->ForceLog().ok()) return 1;
+  if (!engine->CrashAndRecover().ok()) return 1;
+  AppRecovery after(engine->db(), 0, 0, 256, 1016, 8);
+  auto recovered_or = after.AppDigest(0);
+  if (!recovered_or.ok()) return 1;
+  printf("after crash recovery: digest %016llx -> %s\n",
+         static_cast<unsigned long long>(*recovered_or),
+         *recovered_or == *digest_or ? "identical" : "MISMATCH");
+
+  // Part 2: the backup-order result of section 6.2.
+  uint64_t last = RunWorkloadWithBackup(/*apps_last=*/true);
+  uint64_t first = RunWorkloadWithBackup(/*apps_last=*/false);
+  printf("\nbackup-order ablation (identical workload, 8-step backup):\n");
+  printf("  applications LAST in backup order : %llu identity writes\n",
+         static_cast<unsigned long long>(last));
+  printf("  applications FIRST in backup order: %llu identity writes\n",
+         static_cast<unsigned long long>(first));
+  printf("paper 6.2: apps-last guarantees the dagger property -> zero "
+         "Iw/oF logging.\n");
+  return (*recovered_or == *digest_or && last == 0) ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// General logical operations: the paper's file-system example
+// (section 1.1). A copy or sort logs only operand identifiers; crash
+// recovery replays the operations against the restored read sets, and
+// on-line backup stays recoverable via Iw/oF.
+
+#include <cstdio>
+#include <memory>
+
+#include "filestore/filestore.h"
+#include "recovery/media_recovery.h"
+#include "sim/harness.h"
+
+using namespace llb;  // examples only
+
+int main() {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = 512;
+  options.cache_pages = 64;
+  options.graph = WriteGraphKind::kGeneral;  // multi-page read/write sets
+  options.backup_policy = BackupPolicy::kGeneral;
+  options.backup_steps = 8;
+
+  auto engine_or = TestEngine::Create(options, "filedemo");
+  if (!engine_or.ok()) return 1;
+  std::unique_ptr<TestEngine> engine = std::move(engine_or).value();
+  Database* db = engine->db();
+
+  FileStore files(db, 0, /*base_page=*/0, /*pages_per_file=*/4,
+                  /*num_files=*/24);
+
+  // Load an unsorted file.
+  std::vector<int64_t> data;
+  for (int i = 0; i < 1800; ++i) data.push_back((i * 7919) % 100003);
+  if (!files.WriteValues(0, data).ok()) return 1;
+  printf("file 0: %zu unsorted records over 4 pages\n", data.size());
+
+  // Logical operations: only ids hit the log.
+  uint64_t before = db->GatherStats().log.bytes;
+  if (!files.Copy(0, 1).ok()) return 1;
+  if (!files.SortInto(0, 2).ok()) return 1;
+  uint64_t logged = db->GatherStats().log.bytes - before;
+  printf("Copy(0,1) + Sort(0,2) logged %llu bytes total (the data itself "
+         "is ~%zu KB)\n",
+         static_cast<unsigned long long>(logged), data.size() * 8 / 1024);
+
+  // Crash WITHOUT flushing: redo regenerates both results from the log,
+  // replaying the copy and the sort against file 0's restored pages.
+  if (!db->ForceLog().ok()) return 1;
+  if (!engine->CrashAndRecover().ok()) return 1;
+  FileStore after(engine->db(), 0, 0, 4, 24);
+  auto sorted_or = after.ReadValues(2);
+  if (!sorted_or.ok()) return 1;
+  bool is_sorted = std::is_sorted(sorted_or->begin(), sorted_or->end());
+  printf("after crash recovery: file 2 has %zu records, sorted: %s\n",
+         sorted_or->size(), is_sorted ? "yes" : "NO");
+
+  // On-line backup while copies keep racing the sweep.
+  int round = 0;
+  BackupJobOptions job;
+  job.steps = 8;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (int i = 0; i < 4; ++i, ++round) {
+      LLB_RETURN_IF_ERROR(after.Copy(round % 3, 3 + (round % 20)));
+    }
+    return engine->db()->FlushAll();
+  };
+  if (!engine->db()->TakeBackupWithOptions("filedemo_bk", job).status().ok()) {
+    return 1;
+  }
+  DbStats stats = engine->db()->GatherStats();
+  printf("on-line backup done; flush decisions during sweep: %llu, of "
+         "which Iw/oF-logged: %llu (general ops log every non-pending "
+         "flush)\n",
+         static_cast<unsigned long long>(stats.cache.decisions),
+         static_cast<unsigned long long>(stats.cache.decisions_logged));
+
+  // Media failure + recovery.
+  if (!engine->db()->ForceLog().ok()) return 1;
+  engine->Shutdown();
+  {
+    auto stable_or =
+        PageStore::Open(engine->env(), Database::StableName("filedemo"), 1);
+    if (!stable_or.ok() || !(*stable_or)->WipePartition(0).ok()) return 1;
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  auto report_or = RestoreFromBackup(
+      engine->env(), Database::StableName("filedemo"),
+      Database::LogName("filedemo"), "filedemo_bk", registry);
+  if (!report_or.ok()) {
+    fprintf(stderr, "restore failed: %s\n",
+            report_or.status().ToString().c_str());
+    return 1;
+  }
+  if (!engine->Reopen().ok()) return 1;
+  FileStore recovered(engine->db(), 0, 0, 4, 24);
+  auto check_or = recovered.ReadValues(2);
+  if (!check_or.ok() ||
+      !std::is_sorted(check_or->begin(), check_or->end()) ||
+      check_or->size() != data.size()) {
+    printf("media recovery FAILED to reproduce file 2\n");
+    return 1;
+  }
+  printf("media recovery reproduced every file, including results of "
+         "logical ops never captured by the sweep\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "apprec/app_ops.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+namespace app_page {
+
+uint64_t Digest(const PageImage& page) {
+  return DecodeFixed64(page.payload().data());
+}
+
+uint64_t OpCount(const PageImage& page) {
+  return DecodeFixed64(page.payload().data() + 8);
+}
+
+void SetState(PageImage* page, uint64_t digest, uint64_t op_count) {
+  EncodeFixed64(page->mutable_payload(), digest);
+  EncodeFixed64(page->mutable_payload() + 8, op_count);
+  page->set_type(PageType::kApp);
+}
+
+uint64_t MixDigest(uint64_t digest, uint64_t input) {
+  uint64_t z = digest ^ (input + 0x9E3779B97F4A7C15ull + (digest << 6) +
+                         (digest >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return z ^ (z >> 31);
+}
+
+uint64_t PageDigest(const PageImage& page) {
+  Slice payload = page.payload();
+  return crc32c::Value(payload.data(), payload.size());
+}
+
+}  // namespace app_page
+
+namespace {
+
+Status ApplyExec(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) return Status::Corruption("bad Ex record");
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t seed = 0;
+  if (!reader.ReadFixed64(&seed)) seed = 0;
+  PageImage app;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &app));
+  app_page::SetState(&app, app_page::MixDigest(app_page::Digest(app), seed),
+                     app_page::OpCount(app) + 1);
+  return ctx.Write(rec.writeset[0], app);
+}
+
+Status ApplyRead(OpContext& ctx, const LogRecord& rec) {
+  // readset = {X, A}, writeset = {A}.
+  if (rec.readset.size() != 2 || rec.writeset.size() != 1) {
+    return Status::Corruption("bad R(X,A) record");
+  }
+  PageImage msg, app;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.readset[0], &msg));
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &app));
+  app_page::SetState(&app,
+                     app_page::MixDigest(app_page::Digest(app),
+                                         app_page::PageDigest(msg)),
+                     app_page::OpCount(app) + 1);
+  return ctx.Write(rec.writeset[0], app);
+}
+
+Status ApplyWrite(OpContext& ctx, const LogRecord& rec) {
+  // readset = {A}, writeset = {X}: X's contents are a deterministic
+  // function of A's state (the "output buffer").
+  if (rec.readset.size() != 1 || rec.writeset.size() != 1) {
+    return Status::Corruption("bad W_L(A,X) record");
+  }
+  PageImage app;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.readset[0], &app));
+  PageImage msg;
+  uint64_t digest = app_page::Digest(app);
+  char* p = msg.mutable_payload();
+  for (size_t i = 0; i + 8 <= 64; i += 8) {
+    EncodeFixed64(p + i, app_page::MixDigest(digest, i));
+  }
+  msg.set_type(PageType::kApp);
+  return ctx.Write(rec.writeset[0], msg);
+}
+
+}  // namespace
+
+void RegisterAppOps(OpRegistry* registry) {
+  registry->Register(kOpAppExec, ApplyExec);
+  registry->Register(kOpAppRead, ApplyRead);
+  registry->Register(kOpAppWrite, ApplyWrite);
+}
+
+LogRecord MakeAppExec(const PageId& app, uint64_t seed) {
+  LogRecord rec;
+  rec.op_code = kOpAppExec;
+  rec.readset = {app};
+  rec.writeset = {app};
+  PutFixed64(&rec.payload, seed);
+  return rec;
+}
+
+LogRecord MakeAppRead(const PageId& msg, const PageId& app) {
+  LogRecord rec;
+  rec.op_code = kOpAppRead;
+  rec.readset = {msg, app};
+  rec.writeset = {app};
+  return rec;
+}
+
+LogRecord MakeAppWrite(const PageId& app, const PageId& msg) {
+  LogRecord rec;
+  rec.op_code = kOpAppWrite;
+  rec.readset = {app};
+  rec.writeset = {msg};
+  return rec;
+}
+
+}  // namespace llb

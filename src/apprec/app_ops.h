@@ -1,0 +1,44 @@
+#ifndef LLB_APPREC_APP_OPS_H_
+#define LLB_APPREC_APP_OPS_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "ops/op_registry.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+/// Registers the application-recovery operation apply functions.
+void RegisterAppOps(OpRegistry* registry);
+
+/// Application state pages (paper 1.1, "Application Recovery"):
+///   payload[0..8)   running digest of everything the app consumed
+///   payload[8..16)  count of operations executed
+namespace app_page {
+uint64_t Digest(const PageImage& page);
+uint64_t OpCount(const PageImage& page);
+void SetState(PageImage* page, uint64_t digest, uint64_t op_count);
+/// Deterministic state-transition mix.
+uint64_t MixDigest(uint64_t digest, uint64_t input);
+/// Digest of a message page's contents (what R(X, A) consumes).
+uint64_t PageDigest(const PageImage& page);
+}  // namespace app_page
+
+/// Ex(A): "execution of A between resource manager calls is a
+/// physiological operation that reads and writes A's state".
+LogRecord MakeAppExec(const PageId& app, uint64_t seed);
+
+/// R(X, A): "A reads X into its input buffer, transforming its state ...
+/// the values of X and A' are not logged". Logical: reads X and A,
+/// writes A.
+LogRecord MakeAppRead(const PageId& msg, const PageId& app);
+
+/// W_L(A, X): "A writes X from its output buffer. A's state is
+/// unchanged ... we do not log the new value of X". Logical: reads A,
+/// writes X.
+LogRecord MakeAppWrite(const PageId& app, const PageId& msg);
+
+}  // namespace llb
+
+#endif  // LLB_APPREC_APP_OPS_H_

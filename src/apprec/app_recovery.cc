@@ -1,0 +1,74 @@
+#include "apprec/app_recovery.h"
+
+#include "common/coding.h"
+#include "ops/operation.h"
+
+namespace llb {
+
+AppRecovery::AppRecovery(Database* db, PartitionId partition,
+                         uint32_t msg_base, uint32_t num_msgs,
+                         uint32_t app_base, uint32_t num_apps)
+    : db_(db),
+      partition_(partition),
+      msg_base_(msg_base),
+      num_msgs_(num_msgs),
+      app_base_(app_base),
+      num_apps_(num_apps) {}
+
+Status AppRecovery::InitApp(uint32_t app_id) {
+  if (app_id >= num_apps_) return Status::InvalidArgument("bad app id");
+  PageImage state;
+  app_page::SetState(&state, /*digest=*/app_id + 1, /*op_count=*/0);
+  LogRecord rec = MakePhysicalWrite(AppPage(app_id), state);
+  return db_->Execute(&rec);
+}
+
+Status AppRecovery::WriteMessage(uint32_t msg_id, uint64_t content_seed) {
+  if (msg_id >= num_msgs_) return Status::InvalidArgument("bad msg id");
+  PageImage msg;
+  char* p = msg.mutable_payload();
+  for (size_t i = 0; i + 8 <= 128; i += 8) {
+    EncodeFixed64(p + i, app_page::MixDigest(content_seed, i));
+  }
+  msg.set_type(PageType::kApp);
+  LogRecord rec = MakePhysicalWrite(MsgPage(msg_id), msg);
+  return db_->Execute(&rec);
+}
+
+Status AppRecovery::Exec(uint32_t app_id, uint64_t seed) {
+  if (app_id >= num_apps_) return Status::InvalidArgument("bad app id");
+  LogRecord rec = MakeAppExec(AppPage(app_id), seed);
+  return db_->Execute(&rec);
+}
+
+Status AppRecovery::Read(uint32_t app_id, uint32_t msg_id) {
+  if (app_id >= num_apps_ || msg_id >= num_msgs_) {
+    return Status::InvalidArgument("bad app/msg id");
+  }
+  LogRecord rec = MakeAppRead(MsgPage(msg_id), AppPage(app_id));
+  return db_->Execute(&rec);
+}
+
+Status AppRecovery::Write(uint32_t app_id, uint32_t msg_id) {
+  if (app_id >= num_apps_ || msg_id >= num_msgs_) {
+    return Status::InvalidArgument("bad app/msg id");
+  }
+  LogRecord rec = MakeAppWrite(AppPage(app_id), MsgPage(msg_id));
+  return db_->Execute(&rec);
+}
+
+Result<uint64_t> AppRecovery::AppDigest(uint32_t app_id) {
+  if (app_id >= num_apps_) return Status::InvalidArgument("bad app id");
+  PageImage state;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(AppPage(app_id), &state));
+  return app_page::Digest(state);
+}
+
+Result<uint64_t> AppRecovery::AppOpCount(uint32_t app_id) {
+  if (app_id >= num_apps_) return Status::InvalidArgument("bad app id");
+  PageImage state;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(AppPage(app_id), &state));
+  return app_page::OpCount(state);
+}
+
+}  // namespace llb

@@ -1,0 +1,85 @@
+#ifndef LLB_BACKUP_BACKUP_JOB_H_
+#define LLB_BACKUP_BACKUP_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backup/backup_progress.h"
+#include "backup/backup_store.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "storage/page_store.h"
+#include "wal/log_manager.h"
+
+namespace llb {
+
+struct BackupJobOptions {
+  /// Number of progress-reporting steps per partition (paper section 5's
+  /// N). One step degenerates to "backup active / not active"; more steps
+  /// mean finer fences and less extra logging.
+  uint32_t steps = 8;
+  /// Back up partitions on concurrent threads (each partition has its own
+  /// fences and latch, so they interleave freely — paper 3.4).
+  bool parallel_partitions = false;
+  /// Test/benchmark hook: invoked once per step, after the pending fence
+  /// has been advanced but before the step's pages are copied — i.e.
+  /// while the Doubt window [D, P) is genuinely in doubt. Runs without
+  /// any latch held, so it may execute operations and flushes. An error
+  /// aborts the backup.
+  std::function<Status(PartitionId, uint32_t)> mid_step;
+};
+
+struct BackupJobStats {
+  uint64_t pages_copied = 0;
+  uint64_t fence_updates = 0;
+};
+
+/// The on-line backup process: sweeps the stable database S in backup
+/// order, copying pages directly into the backup store B — bypassing the
+/// cache manager entirely — while reporting progress through the backup
+/// fences. Update activity continues concurrently; the cache manager's
+/// backup-aware flush path (cache/cache_manager.h) keeps B recoverable.
+class BackupJob {
+ public:
+  BackupJob(Env* env, PageStore* stable, BackupCoordinator* coordinator,
+            LogManager* log, uint32_t pages_per_partition,
+            BackupJobOptions options);
+
+  BackupJob(const BackupJob&) = delete;
+  BackupJob& operator=(const BackupJob&) = delete;
+
+  /// Takes a full backup named `name`. `start_lsn` must be the crash-redo
+  /// scan start point captured at the moment the backup begins (the cache
+  /// manager's RedoStartLsn()).
+  Result<BackupManifest> Run(const std::string& name, Lsn start_lsn);
+
+  /// Takes an incremental backup containing only `changed_pages`,
+  /// chained to `base_name` (paper 6.1).
+  Result<BackupManifest> RunIncremental(const std::string& name,
+                                        const std::string& base_name,
+                                        Lsn start_lsn,
+                                        std::vector<PageId> changed_pages);
+
+  const BackupJobStats& stats() const { return stats_; }
+
+ private:
+  Status BackupPartition(PageStore* dest, PartitionId partition,
+                         const std::vector<uint32_t>* page_filter);
+
+  Env* const env_;
+  PageStore* const stable_;
+  BackupCoordinator* const coordinator_;
+  LogManager* const log_;
+  const uint32_t pages_per_partition_;
+  const BackupJobOptions options_;
+  std::mutex stats_mu_;
+  BackupJobStats stats_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_BACKUP_BACKUP_JOB_H_

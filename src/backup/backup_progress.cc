@@ -1,0 +1,4 @@
+#include "backup/backup_progress.h"
+
+// BackupProgress and BackupCoordinator are header-only; this file anchors
+// the translation unit for the llb_backup library target.

@@ -1,0 +1,119 @@
+#ifndef LLB_BACKUP_BACKUP_PROGRESS_H_
+#define LLB_BACKUP_BACKUP_PROGRESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace llb {
+
+/// Region of the backup order an object position falls in (paper 3.4,
+/// Figure 3).
+enum class BackupRegion {
+  kDone,   // #X <  D : already copied to B; a flush now will NOT reach B
+  kDoubt,  // D <= #X < P : may or may not have been copied
+  kPend,   // #X >= P : not yet copied; a flush now WILL reach B
+};
+
+/// Per-partition backup progress: the fences D (done) and P (pending)
+/// over the partition's backup order, protected by the backup latch.
+///
+/// Protocol (paper 3.4):
+///  * between backups D = P = Min (0): every object is pending, so the
+///    cache manager needs no extra logging;
+///  * the backup process advances in steps: set P to the next boundary
+///    (exclusive latch), copy all pages below P, then set D = P;
+///  * the cache manager holds the latch in share mode across an entire
+///    flush so D and P cannot move mid-flush.
+class BackupProgress {
+ public:
+  BackupProgress() = default;
+
+  BackupProgress(const BackupProgress&) = delete;
+  BackupProgress& operator=(const BackupProgress&) = delete;
+
+  /// The backup latch. Share mode: cache-manager flushes. Exclusive mode:
+  /// fence updates by the backup process.
+  std::shared_mutex& latch() { return latch_; }
+
+  // --- readers (call with latch held in share or exclusive mode) ---
+
+  /// True while a backup of this partition is under way.
+  bool active() const { return done_ != 0 || pending_ != 0; }
+
+  BackupRegion Classify(BackupPos pos) const {
+    if (pos >= pending_) return BackupRegion::kPend;
+    if (pos < done_) return BackupRegion::kDone;
+    return BackupRegion::kDoubt;
+  }
+
+  BackupPos done_fence() const { return done_; }
+  BackupPos pending_fence() const { return pending_; }
+
+  // --- writers (call with latch held exclusively) ---
+
+  /// Advances the pending fence to `p` (start of a step).
+  void SetPendingFence(BackupPos p) {
+    pending_ = p;
+    ++fence_updates_;
+  }
+
+  /// Marks everything below the pending fence done (end of a step).
+  void SetDoneFence() {
+    done_ = pending_;
+    ++fence_updates_;
+  }
+
+  /// Resets to the between-backups state D = P = Min.
+  void Reset() {
+    done_ = 0;
+    pending_ = 0;
+    ++fence_updates_;
+  }
+
+  /// Number of exclusive fence updates — the synchronization cost knob
+  /// the paper's step count N controls.
+  uint64_t fence_updates() const { return fence_updates_; }
+
+ private:
+  std::shared_mutex latch_;
+  BackupPos done_ = 0;
+  BackupPos pending_ = 0;
+  uint64_t fence_updates_ = 0;
+};
+
+/// One BackupProgress per partition ("we define a backup latch per
+/// partition. This permits us to back up partitions in parallel").
+class BackupCoordinator {
+ public:
+  explicit BackupCoordinator(uint32_t num_partitions) {
+    progress_.reserve(num_partitions);
+    for (uint32_t i = 0; i < num_partitions; ++i) {
+      progress_.push_back(std::make_unique<BackupProgress>());
+    }
+  }
+
+  BackupCoordinator(const BackupCoordinator&) = delete;
+  BackupCoordinator& operator=(const BackupCoordinator&) = delete;
+
+  BackupProgress* Get(PartitionId partition) {
+    return progress_[partition].get();
+  }
+  const BackupProgress* Get(PartitionId partition) const {
+    return progress_[partition].get();
+  }
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(progress_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<BackupProgress>> progress_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_BACKUP_BACKUP_PROGRESS_H_

@@ -1,0 +1,78 @@
+#include "backup/backup_store.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4C4C424Du;  // "LLBM"
+}  // namespace
+
+Status BackupManifest::Save(Env* env) const {
+  std::string blob;
+  PutFixed32(&blob, kManifestMagic);
+  PutLengthPrefixed(&blob, Slice(name));
+  PutFixed64(&blob, start_lsn);
+  PutFixed64(&blob, end_lsn);
+  PutFixed32(&blob, partitions);
+  PutFixed32(&blob, pages_per_partition);
+  PutFixed32(&blob, steps);
+  blob.push_back(complete ? '\1' : '\0');
+  blob.push_back(incremental ? '\1' : '\0');
+  PutLengthPrefixed(&blob, Slice(base_name));
+  PutVarint64(&blob, pages.size());
+  for (const PageId& id : pages) PutPageId(&blob, id);
+  PutFixed32(&blob, crc32c::Value(blob.data(), blob.size()));
+
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(name + ".manifest", /*create=*/true));
+  LLB_RETURN_IF_ERROR(file->Truncate(0));
+  LLB_RETURN_IF_ERROR(file->WriteAt(0, Slice(blob)));
+  return file->Sync();
+}
+
+Result<BackupManifest> BackupManifest::Load(Env* env,
+                                            const std::string& name) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(name + ".manifest", /*create=*/false));
+  LLB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string blob;
+  LLB_RETURN_IF_ERROR(file->ReadAt(0, size, &blob));
+  if (blob.size() < 8) return Status::Corruption("manifest too small");
+
+  uint32_t stored_crc = DecodeFixed32(blob.data() + blob.size() - 4);
+  if (stored_crc != crc32c::Value(blob.data(), blob.size() - 4)) {
+    return Status::Corruption("manifest crc mismatch");
+  }
+
+  SliceReader reader(Slice(blob.data(), blob.size() - 4));
+  BackupManifest m;
+  uint32_t magic = 0;
+  Slice name_slice, base_slice;
+  uint64_t num_pages = 0;
+  Slice flag_bytes;
+  if (!reader.ReadFixed32(&magic) || magic != kManifestMagic ||
+      !reader.ReadLengthPrefixed(&name_slice) ||
+      !reader.ReadFixed64(&m.start_lsn) || !reader.ReadFixed64(&m.end_lsn) ||
+      !reader.ReadFixed32(&m.partitions) ||
+      !reader.ReadFixed32(&m.pages_per_partition) ||
+      !reader.ReadFixed32(&m.steps) || !reader.ReadBytes(2, &flag_bytes) ||
+      !reader.ReadLengthPrefixed(&base_slice) ||
+      !reader.ReadVarint64(&num_pages)) {
+    return Status::Corruption("malformed manifest");
+  }
+  m.name = name_slice.ToString();
+  m.complete = flag_bytes[0] != '\0';
+  m.incremental = flag_bytes[1] != '\0';
+  m.base_name = base_slice.ToString();
+  m.pages.reserve(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    PageId id;
+    if (!reader.ReadPageId(&id)) return Status::Corruption("bad page list");
+    m.pages.push_back(id);
+  }
+  return m;
+}
+
+}  // namespace llb

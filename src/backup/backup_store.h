@@ -1,0 +1,46 @@
+#ifndef LLB_BACKUP_BACKUP_STORE_H_
+#define LLB_BACKUP_BACKUP_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "io/env.h"
+
+namespace llb {
+
+/// Describes one completed backup: which pages it holds and, crucially,
+/// the media-recovery-log scan start point captured when it began ("the
+/// media recovery log scan start point can be the crash recovery log scan
+/// start point at the time backup begins", paper 1.2).
+struct BackupManifest {
+  std::string name;
+  Lsn start_lsn = kInvalidLsn;  // roll-forward scan start
+  Lsn end_lsn = kInvalidLsn;    // log position when the backup finished
+  uint32_t partitions = 0;
+  uint32_t pages_per_partition = 0;
+  uint32_t steps = 0;
+  bool complete = false;
+
+  /// Incremental backups (paper 6.1) copy only changed pages and chain to
+  /// a base backup.
+  bool incremental = false;
+  std::string base_name;
+  std::vector<PageId> pages;  // pages contained (incremental only)
+
+  /// Persists to "<name>.manifest" in env.
+  Status Save(Env* env) const;
+
+  /// Loads "<name>.manifest".
+  static Result<BackupManifest> Load(Env* env, const std::string& name);
+
+  /// Page-store prefix used for this backup's pages.
+  std::string StoreName() const { return name + ".pages"; }
+};
+
+}  // namespace llb
+
+#endif  // LLB_BACKUP_BACKUP_STORE_H_

@@ -1,0 +1,15 @@
+#include "backup/incremental_tracker.h"
+
+#include <algorithm>
+
+namespace llb {
+
+std::vector<PageId> IncrementalTracker::SnapshotAndClear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> out(changed_.begin(), changed_.end());
+  changed_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace llb

@@ -1,0 +1,420 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "btree/btree_node.h"
+#include "btree/btree_ops.h"
+#include "ops/operation.h"
+
+namespace llb {
+
+namespace node = btree_node;
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+BTree::BTree(Database* db, PartitionId partition, uint32_t meta_page,
+             SplitLogging split_logging)
+    : db_(db),
+      partition_(partition),
+      meta_page_(meta_page),
+      split_logging_(split_logging) {}
+
+Status BTree::Create() {
+  uint32_t root = meta_page_ + 1;
+  // Empty root leaf via a physical blind write.
+  PageImage leaf;
+  node::InitLeaf(&leaf, 0);
+  LogRecord init = MakePhysicalWrite(Page(root), leaf);
+  LLB_RETURN_IF_ERROR(db_->Execute(&init));
+  // Meta: root, next free page, height 1.
+  LogRecord meta = MakeBtreeSetMeta(Page(meta_page_), root, root + 1, 1);
+  return db_->Execute(&meta);
+}
+
+Status BTree::ReadMeta(PageImage* meta) {
+  LLB_RETURN_IF_ERROR(db_->ReadPage(Page(meta_page_), meta));
+  if (node::Kind(*meta) != node::kKindMeta) {
+    return Status::FailedPrecondition("btree not initialized at page " +
+                                      std::to_string(meta_page_));
+  }
+  return Status::OK();
+}
+
+bool BTree::NeedsSplit(const PageImage& page) const {
+  if (node::Kind(page) == node::kKindInner) {
+    return node::Count(page) >= node::kInnerCapacity;
+  }
+  return node::Count(page) >= node::kLeafCapacity;
+}
+
+Status BTree::LogNewPage(uint32_t old_page, uint32_t new_page,
+                         int64_t split_key) {
+  if (split_logging_ == SplitLogging::kLogical) {
+    // The paper's logical split: log operand ids + split key only.
+    LogRecord mov = MakeBtreeMovRec(Page(old_page), Page(new_page), split_key);
+    return db_->Execute(&mov);
+  }
+  // Page-oriented: compute the new page's image here and log it in full
+  // (the logging cost the paper's tree operations avoid).
+  PageImage old_image;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(Page(old_page), &old_image));
+  PageImage new_image;
+  if (node::Kind(old_image) == node::kKindInner) {
+    node::InitInner(&new_image, 0);
+    node::InnerCopyHigh(old_image, &new_image, split_key);
+  } else {
+    node::InitLeaf(&new_image, node::Link(old_image));
+    node::LeafCopyHigh(old_image, &new_image, split_key);
+  }
+  LogRecord init = MakePhysicalWrite(Page(new_page), new_image);
+  return db_->Execute(&init);
+}
+
+Status BTree::SplitChild(uint32_t parent, uint32_t child, int64_t* split_key,
+                         uint32_t* new_page_out) {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t new_page = node::MetaNextFree(meta);
+  if (new_page >= db_->options().pages_per_partition) {
+    return Status::FailedPrecondition("partition out of pages");
+  }
+
+  PageImage child_image;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(Page(child), &child_image));
+  size_t n = node::Count(child_image);
+  if (n < 2) return Status::Internal("splitting a node with < 2 records");
+
+  bool inner = node::Kind(child_image) == node::kKindInner;
+  // Leaf: keys <= split stay. Inner: the median separator is promoted.
+  *split_key = inner ? node::InnerKeyAt(child_image, n / 2)
+                     : node::LeafKeyAt(child_image, (n - 1) / 2);
+  *new_page_out = new_page;
+
+  // Order (see DESIGN.md): every durable log prefix leaves a readable
+  // tree. 1) move records into the (unreachable) new page; 2) allocate;
+  // 3) link the separator into the parent; 4) truncate the old page.
+  LLB_RETURN_IF_ERROR(LogNewPage(child, new_page, *split_key));
+  LogRecord alloc =
+      MakeBtreeSetMeta(Page(meta_page_), node::MetaRoot(meta), new_page + 1,
+                       node::MetaHeight(meta));
+  LLB_RETURN_IF_ERROR(db_->Execute(&alloc));
+  LogRecord link = MakeBtreeInsertIndex(Page(parent), *split_key, new_page);
+  LLB_RETURN_IF_ERROR(db_->Execute(&link));
+  LogRecord rmv = MakeBtreeRmvRec(Page(child), *split_key, new_page);
+  LLB_RETURN_IF_ERROR(db_->Execute(&rmv));
+  ++stats_.splits;
+  return Status::OK();
+}
+
+Status BTree::SplitRoot() {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t old_root = node::MetaRoot(meta);
+  uint32_t new_page = node::MetaNextFree(meta);
+  uint32_t new_root = new_page + 1;
+  if (new_root >= db_->options().pages_per_partition) {
+    return Status::FailedPrecondition("partition out of pages");
+  }
+
+  PageImage root_image;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(Page(old_root), &root_image));
+  size_t n = node::Count(root_image);
+  if (n < 2) return Status::Internal("splitting a root with < 2 records");
+  bool inner = node::Kind(root_image) == node::kKindInner;
+  int64_t split_key = inner ? node::InnerKeyAt(root_image, n / 2)
+                            : node::LeafKeyAt(root_image, (n - 1) / 2);
+
+  // 1) populate the new sibling (unreachable yet);
+  LLB_RETURN_IF_ERROR(LogNewPage(old_root, new_page, split_key));
+  // 2) initialize the new root (unreachable yet);
+  PageImage new_root_image;
+  node::InitInner(&new_root_image, old_root);
+  node::InnerInsert(&new_root_image, split_key, new_page);
+  LogRecord init = MakePhysicalWrite(Page(new_root), new_root_image);
+  LLB_RETURN_IF_ERROR(db_->Execute(&init));
+  // 3) switch the root and allocate both pages atomically via the meta;
+  LogRecord swap = MakeBtreeSetMeta(Page(meta_page_), new_root, new_root + 1,
+                                    node::MetaHeight(meta) + 1);
+  LLB_RETURN_IF_ERROR(db_->Execute(&swap));
+  // 4) truncate the old root.
+  LogRecord rmv = MakeBtreeRmvRec(Page(old_root), split_key, new_page);
+  LLB_RETURN_IF_ERROR(db_->Execute(&rmv));
+  ++stats_.splits;
+  ++stats_.root_splits;
+  return Status::OK();
+}
+
+Status BTree::Insert(int64_t key, Slice value) {
+  if (value.size() > node::kMaxValueSize) {
+    return Status::InvalidArgument("value too large");
+  }
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+
+  PageImage image;
+  LLB_RETURN_IF_ERROR(db_->ReadPage(Page(node::MetaRoot(meta)), &image));
+  if (NeedsSplit(image)) {
+    LLB_RETURN_IF_ERROR(SplitRoot());
+    LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  }
+
+  // Preemptive top-down descent: split any full child before entering it,
+  // so the parent always has room for the separator.
+  uint32_t current = node::MetaRoot(meta);
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) {
+      LogRecord rec = MakeBtreeInsert(Page(current), key, value);
+      return db_->Execute(&rec);
+    }
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    uint32_t child = node::InnerDescend(image, key);
+    PageImage child_image;
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(child), &child_image));
+    if (NeedsSplit(child_image)) {
+      int64_t split_key = 0;
+      uint32_t new_page = 0;
+      LLB_RETURN_IF_ERROR(SplitChild(current, child, &split_key, &new_page));
+      if (key > split_key) child = new_page;
+    }
+    current = child;
+  }
+  return Status::Corruption("btree descent exceeded max depth");
+}
+
+Status BTree::Delete(int64_t key) {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) {
+      if (!node::LeafFind(image, key)) {
+        return Status::NotFound("key not present");
+      }
+      LogRecord rec = MakeBtreeDelete(Page(current), key);
+      return db_->Execute(&rec);
+    }
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    current = node::InnerDescend(image, key);
+  }
+  return Status::Corruption("btree descent exceeded max depth");
+}
+
+Result<std::string> BTree::Get(int64_t key) {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) {
+      auto pos = node::LeafFind(image, key);
+      if (!pos) return Status::NotFound("key not present");
+      return node::LeafValueAt(image, *pos);
+    }
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    current = node::InnerDescend(image, key);
+  }
+  return Status::Corruption("btree descent exceeded max depth");
+}
+
+Status BTree::Scan(int64_t from, int64_t to,
+                   std::vector<std::pair<int64_t, std::string>>* out) {
+  out->clear();
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  // Descend to the leaf containing `from`.
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) break;
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    current = node::InnerDescend(image, from);
+  }
+  // Walk the leaf chain.
+  for (int hops = 0;; ++hops) {
+    if (hops > static_cast<int>(db_->options().pages_per_partition)) {
+      return Status::Corruption("leaf chain cycle");
+    }
+    size_t n = node::Count(image);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t key = node::LeafKeyAt(image, i);
+      if (key < from) continue;
+      if (key > to) return Status::OK();
+      out->emplace_back(key, node::LeafValueAt(image, i));
+    }
+    uint32_t next = node::Link(image);
+    if (next == 0) return Status::OK();
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(next), &image));
+  }
+}
+
+Result<uint64_t> BTree::Count() {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) break;
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    current = node::Link(image);  // leftmost path
+  }
+  uint64_t count = 0;
+  for (uint32_t hops = 0; hops <= db_->options().pages_per_partition;
+       ++hops) {
+    count += node::Count(image);
+    uint32_t next = node::Link(image);
+    if (next == 0) return count;
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(next), &image));
+  }
+  return Status::Corruption("leaf chain cycle");
+}
+
+Result<int64_t> BTree::MinKey() {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) break;
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    current = node::Link(image);
+  }
+  // Skip (possibly emptied-by-delete) leaves along the chain.
+  for (uint32_t hops = 0; hops <= db_->options().pages_per_partition;
+       ++hops) {
+    if (node::Count(image) > 0) return node::LeafKeyAt(image, 0);
+    uint32_t next = node::Link(image);
+    if (next == 0) return Status::NotFound("tree is empty");
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(next), &image));
+  }
+  return Status::Corruption("leaf chain cycle");
+}
+
+Result<int64_t> BTree::MaxKey() {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  uint32_t current = node::MetaRoot(meta);
+  PageImage image;
+  // The rightmost descent can reach an empty leaf after deletes; fall
+  // back to a full chain walk in that case.
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(current), &image));
+    if (node::Kind(image) == node::kKindLeaf) break;
+    if (node::Kind(image) != node::kKindInner) {
+      return Status::Corruption("unexpected node kind during descent");
+    }
+    size_t n = node::Count(image);
+    current = n > 0 ? node::InnerChildAt(image, n - 1) : node::Link(image);
+  }
+  if (node::Count(image) > 0) {
+    return node::LeafKeyAt(image, node::Count(image) - 1);
+  }
+  std::vector<std::pair<int64_t, std::string>> all;
+  LLB_RETURN_IF_ERROR(Scan(std::numeric_limits<int64_t>::min() + 1,
+                           std::numeric_limits<int64_t>::max(), &all));
+  if (all.empty()) return Status::NotFound("tree is empty");
+  return all.back().first;
+}
+
+Result<BtreeCheckReport> BTree::CheckInvariants() {
+  PageImage meta;
+  LLB_RETURN_IF_ERROR(ReadMeta(&meta));
+  BtreeCheckReport report;
+  report.height = node::MetaHeight(meta);
+
+  // Recursive structural walk with key-range checks, done iteratively.
+  struct Item {
+    uint32_t page;
+    int64_t lo;  // exclusive lower bound
+    int64_t hi;  // inclusive upper bound
+  };
+  std::vector<Item> stack{{node::MetaRoot(meta),
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()}};
+  int64_t last_leaf_key = std::numeric_limits<int64_t>::min();
+  bool have_last = false;
+
+  // Collect leaves in key order via the chain for the ordering check.
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    PageImage image;
+    LLB_RETURN_IF_ERROR(db_->ReadPage(Page(item.page), &image));
+    if (node::Kind(image) == node::kKindInner) {
+      ++report.inners;
+      size_t n = node::Count(image);
+      int64_t prev = item.lo;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t key = node::InnerKeyAt(image, i);
+        if (key <= prev) return Status::Corruption("inner keys out of order");
+        prev = key;
+      }
+      if (n > 0 && node::InnerKeyAt(image, n - 1) > item.hi) {
+        return Status::Corruption("inner key exceeds parent bound");
+      }
+      // children: leftmost covers (lo, key0]; entry i covers
+      // (key_i, key_{i+1}] (last: (key_{n-1}, hi]).
+      stack.push_back({node::Link(image), item.lo,
+                       n > 0 ? node::InnerKeyAt(image, 0) : item.hi});
+      for (size_t i = 0; i < n; ++i) {
+        int64_t lo = node::InnerKeyAt(image, i);
+        int64_t hi = i + 1 < n ? node::InnerKeyAt(image, i + 1) : item.hi;
+        stack.push_back({node::InnerChildAt(image, i), lo, hi});
+      }
+    } else if (node::Kind(image) == node::kKindLeaf) {
+      ++report.leaves;
+      size_t n = node::Count(image);
+      report.records += n;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t key = node::LeafKeyAt(image, i);
+        if (i > 0 && key <= node::LeafKeyAt(image, i - 1)) {
+          return Status::Corruption("leaf keys out of order");
+        }
+        if (key <= item.lo || key > item.hi) {
+          return Status::Corruption("leaf key outside separator bounds");
+        }
+      }
+    } else {
+      return Status::Corruption("unexpected node kind in tree");
+    }
+  }
+
+  // Leaf-chain ordering check.
+  std::vector<std::pair<int64_t, std::string>> all;
+  LLB_RETURN_IF_ERROR(Scan(std::numeric_limits<int64_t>::min() + 1,
+                           std::numeric_limits<int64_t>::max(), &all));
+  for (const auto& [key, value] : all) {
+    if (have_last && key <= last_leaf_key) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    last_leaf_key = key;
+    have_last = true;
+  }
+  if (all.size() != report.records) {
+    return Status::Corruption("leaf chain misses records");
+  }
+  return report;
+}
+
+}  // namespace llb

@@ -1,0 +1,104 @@
+#ifndef LLB_BTREE_BTREE_H_
+#define LLB_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace llb {
+
+/// How node splits are logged — the paper's section 4.1 comparison:
+///   kLogical      — MovRec + RmvRec: no record data logged (tree ops).
+///   kPageOriented — W_P(new, log(image)) + RmvRec: the new page's full
+///                   contents go to the log.
+enum class SplitLogging {
+  kLogical,
+  kPageOriented,
+};
+
+struct BtreeStats {
+  uint64_t splits = 0;
+  uint64_t root_splits = 0;
+};
+
+struct BtreeCheckReport {
+  uint64_t records = 0;
+  uint64_t leaves = 0;
+  uint64_t inners = 0;
+  uint32_t height = 0;
+};
+
+/// A recoverable B+-tree over one partition of a Database. Keys are
+/// int64; values are byte strings up to btree_node::kMaxValueSize.
+///
+/// All mutations are logged operations executed through the database, so
+/// the tree is crash- and media-recoverable. With SplitLogging::kLogical,
+/// all operations are in the paper's tree-operation class; pair it with
+/// WriteGraphKind::kTree and BackupPolicy::kTree.
+class BTree {
+ public:
+  BTree(Database* db, PartitionId partition, uint32_t meta_page,
+        SplitLogging split_logging);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Initializes a fresh tree (meta page + empty root leaf).
+  Status Create();
+
+  /// Inserts (or replaces) a record.
+  Status Insert(int64_t key, Slice value);
+
+  /// Removes a record. NotFound if absent.
+  Status Delete(int64_t key);
+
+  /// Point lookup. NotFound if absent.
+  Result<std::string> Get(int64_t key);
+
+  /// All records with from <= key <= to, in key order.
+  Status Scan(int64_t from, int64_t to,
+              std::vector<std::pair<int64_t, std::string>>* out);
+
+  /// Validates structural invariants (key order, separator consistency,
+  /// leaf chain) and returns counts.
+  Result<BtreeCheckReport> CheckInvariants();
+
+  /// Number of records (walks the leaf chain).
+  Result<uint64_t> Count();
+
+  /// Smallest / largest key. NotFound on an empty tree.
+  Result<int64_t> MinKey();
+  Result<int64_t> MaxKey();
+
+  const BtreeStats& stats() const { return stats_; }
+
+ private:
+  PageId Page(uint32_t page) const { return PageId{partition_, page}; }
+
+  Status ReadMeta(PageImage* meta);
+  /// Splits `child` (whose parent is `parent`, with room for one more
+  /// separator); sets *split_key. Root splits pass parent = 0.
+  Status SplitChild(uint32_t parent, uint32_t child, int64_t* split_key,
+                    uint32_t* new_page);
+  Status SplitRoot();
+  bool NeedsSplit(const PageImage& page) const;
+  /// Emits the new-page contents: logically (MovRec) or page-oriented
+  /// (physical write of the computed image).
+  Status LogNewPage(uint32_t old_page, uint32_t new_page, int64_t split_key);
+
+  Database* const db_;
+  const PartitionId partition_;
+  const uint32_t meta_page_;
+  const SplitLogging split_logging_;
+  BtreeStats stats_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_BTREE_BTREE_H_

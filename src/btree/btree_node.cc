@@ -1,0 +1,252 @@
+#include "btree/btree_node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace llb::btree_node {
+
+namespace {
+
+const char* Payload(const PageImage& page) { return page.payload().data(); }
+char* Payload(PageImage* page) { return page->mutable_payload(); }
+
+void SetCount(PageImage* page, uint16_t count) {
+  char* p = Payload(page) + 2;
+  p[0] = static_cast<char>(count & 0xFF);
+  p[1] = static_cast<char>(count >> 8);
+}
+
+int64_t ReadKey(const char* p) {
+  return static_cast<int64_t>(DecodeFixed64(p));
+}
+
+const char* LeafRecord(const PageImage& page, size_t i) {
+  return Payload(page) + 8 + i * kLeafRecordSize;
+}
+char* LeafRecord(PageImage* page, size_t i) {
+  return Payload(page) + 8 + i * kLeafRecordSize;
+}
+const char* InnerEntry(const PageImage& page, size_t i) {
+  return Payload(page) + 8 + i * kInnerEntrySize;
+}
+char* InnerEntry(PageImage* page, size_t i) {
+  return Payload(page) + 8 + i * kInnerEntrySize;
+}
+
+void WriteLeafRecord(char* dst, int64_t key, Slice value) {
+  EncodeFixed64(dst, static_cast<uint64_t>(key));
+  size_t len = std::min(value.size(), kMaxValueSize);
+  dst[8] = static_cast<char>(len & 0xFF);
+  dst[9] = static_cast<char>(len >> 8);
+  std::memcpy(dst + 10, value.data(), len);
+  std::memset(dst + 10 + len, 0, kMaxValueSize - len);
+}
+
+/// Index of the first leaf record with key >= target.
+size_t LeafLowerBound(const PageImage& page, int64_t key) {
+  size_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKeyAt(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t InnerLowerBound(const PageImage& page, int64_t key) {
+  size_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InnerKeyAt(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+uint8_t Kind(const PageImage& page) {
+  return static_cast<uint8_t>(Payload(page)[0]);
+}
+
+uint16_t Count(const PageImage& page) {
+  const char* p = Payload(page) + 2;
+  uint16_t count = static_cast<uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+  // Defensive clamp: replay may read garbage-state pages; never index
+  // past the record area.
+  uint16_t cap = static_cast<uint16_t>(
+      Kind(page) == kKindInner ? kInnerCapacity : kLeafCapacity);
+  return std::min(count, cap);
+}
+
+uint32_t Link(const PageImage& page) {
+  return DecodeFixed32(Payload(page) + 4);
+}
+
+void SetLink(PageImage* page, uint32_t link) {
+  EncodeFixed32(Payload(page) + 4, link);
+}
+
+void InitLeaf(PageImage* page, uint32_t right_sibling) {
+  std::memset(Payload(page), 0, kPagePayloadSize);
+  Payload(page)[0] = static_cast<char>(kKindLeaf);
+  SetLink(page, right_sibling);
+  page->set_type(PageType::kBtree);
+}
+
+void InitInner(PageImage* page, uint32_t leftmost_child) {
+  std::memset(Payload(page), 0, kPagePayloadSize);
+  Payload(page)[0] = static_cast<char>(kKindInner);
+  SetLink(page, leftmost_child);
+  page->set_type(PageType::kBtree);
+}
+
+void InitMeta(PageImage* page, uint32_t root, uint32_t next_free,
+              uint32_t height) {
+  std::memset(Payload(page), 0, kPagePayloadSize);
+  Payload(page)[0] = static_cast<char>(kKindMeta);
+  EncodeFixed32(Payload(page) + 4, root);
+  EncodeFixed32(Payload(page) + 8, next_free);
+  EncodeFixed32(Payload(page) + 12, height);
+  page->set_type(PageType::kBtree);
+}
+
+int64_t LeafKeyAt(const PageImage& page, size_t i) {
+  return ReadKey(LeafRecord(page, i));
+}
+
+std::string LeafValueAt(const PageImage& page, size_t i) {
+  const char* rec = LeafRecord(page, i);
+  size_t len = static_cast<unsigned char>(rec[8]) |
+               (static_cast<size_t>(static_cast<unsigned char>(rec[9])) << 8);
+  len = std::min(len, kMaxValueSize);
+  return std::string(rec + 10, len);
+}
+
+std::optional<size_t> LeafFind(const PageImage& page, int64_t key) {
+  size_t pos = LeafLowerBound(page, key);
+  if (pos < Count(page) && LeafKeyAt(page, pos) == key) return pos;
+  return std::nullopt;
+}
+
+bool LeafInsert(PageImage* page, int64_t key, Slice value) {
+  size_t n = Count(*page);
+  size_t pos = LeafLowerBound(*page, key);
+  if (pos < n && LeafKeyAt(*page, pos) == key) {
+    WriteLeafRecord(LeafRecord(page, pos), key, value);  // replace
+    return true;
+  }
+  if (n >= kLeafCapacity) return false;
+  std::memmove(LeafRecord(page, pos + 1), LeafRecord(page, pos),
+               (n - pos) * kLeafRecordSize);
+  WriteLeafRecord(LeafRecord(page, pos), key, value);
+  SetCount(page, static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+bool LeafRemove(PageImage* page, int64_t key) {
+  size_t n = Count(*page);
+  size_t pos = LeafLowerBound(*page, key);
+  if (pos >= n || LeafKeyAt(*page, pos) != key) return false;
+  std::memmove(LeafRecord(page, pos), LeafRecord(page, pos + 1),
+               (n - pos - 1) * kLeafRecordSize);
+  SetCount(page, static_cast<uint16_t>(n - 1));
+  return true;
+}
+
+void LeafTruncateHigh(PageImage* page, int64_t split_key) {
+  size_t n = Count(*page);
+  size_t keep = 0;
+  while (keep < n && LeafKeyAt(*page, keep) <= split_key) ++keep;
+  SetCount(page, static_cast<uint16_t>(keep));
+}
+
+void LeafCopyHigh(const PageImage& src, PageImage* dst, int64_t split_key) {
+  size_t n = Count(src);
+  size_t start = 0;
+  while (start < n && LeafKeyAt(src, start) <= split_key) ++start;
+  size_t moved = n - start;
+  std::memcpy(LeafRecord(dst, 0), LeafRecord(src, start),
+              moved * kLeafRecordSize);
+  SetCount(dst, static_cast<uint16_t>(moved));
+}
+
+int64_t InnerKeyAt(const PageImage& page, size_t i) {
+  return ReadKey(InnerEntry(page, i));
+}
+
+uint32_t InnerChildAt(const PageImage& page, size_t i) {
+  return DecodeFixed32(InnerEntry(page, i) + 8);
+}
+
+uint32_t InnerDescend(const PageImage& page, int64_t key) {
+  uint32_t child = Link(page);  // leftmost
+  size_t n = Count(page);
+  for (size_t i = 0; i < n; ++i) {
+    if (key > InnerKeyAt(page, i)) {
+      child = InnerChildAt(page, i);
+    } else {
+      break;
+    }
+  }
+  return child;
+}
+
+bool InnerInsert(PageImage* page, int64_t key, uint32_t child) {
+  size_t n = Count(*page);
+  size_t pos = InnerLowerBound(*page, key);
+  if (pos < n && InnerKeyAt(*page, pos) == key) return false;
+  if (n >= kInnerCapacity) return false;
+  std::memmove(InnerEntry(page, pos + 1), InnerEntry(page, pos),
+               (n - pos) * kInnerEntrySize);
+  char* e = InnerEntry(page, pos);
+  EncodeFixed64(e, static_cast<uint64_t>(key));
+  EncodeFixed32(e + 8, child);
+  SetCount(page, static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+void InnerTruncateHigh(PageImage* page, int64_t split_key) {
+  size_t n = Count(*page);
+  size_t keep = 0;
+  while (keep < n && InnerKeyAt(*page, keep) < split_key) ++keep;
+  SetCount(page, static_cast<uint16_t>(keep));
+}
+
+void InnerCopyHigh(const PageImage& src, PageImage* dst, int64_t split_key) {
+  size_t n = Count(src);
+  // dst's leftmost child is the child of the promoted separator.
+  size_t sep = 0;
+  while (sep < n && InnerKeyAt(src, sep) < split_key) ++sep;
+  bool promoted = sep < n && InnerKeyAt(src, sep) == split_key;
+  if (promoted) SetLink(dst, InnerChildAt(src, sep));
+  size_t start = promoted ? sep + 1 : sep;
+  size_t moved = n - start;
+  std::memcpy(InnerEntry(dst, 0), InnerEntry(src, start),
+              moved * kInnerEntrySize);
+  SetCount(dst, static_cast<uint16_t>(moved));
+}
+
+uint32_t MetaRoot(const PageImage& page) {
+  return DecodeFixed32(Payload(page) + 4);
+}
+
+uint32_t MetaNextFree(const PageImage& page) {
+  return DecodeFixed32(Payload(page) + 8);
+}
+
+uint32_t MetaHeight(const PageImage& page) {
+  return DecodeFixed32(Payload(page) + 12);
+}
+
+}  // namespace llb::btree_node

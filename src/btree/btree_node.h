@@ -1,0 +1,82 @@
+#ifndef LLB_BTREE_BTREE_NODE_H_
+#define LLB_BTREE_BTREE_NODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "storage/page.h"
+
+namespace llb::btree_node {
+
+/// On-page B+-tree node layout (within the page payload):
+///
+///   byte 0      : node kind (0 free, 1 leaf, 2 inner, 3 meta)
+///   bytes 2..4  : record count (u16)
+///   bytes 4..8  : leaf -> right sibling page, inner -> leftmost child
+///   bytes 8..   : fixed-size records
+///
+/// Leaf records (64 bytes): key(i64) len(u16) value(54 bytes, padded).
+/// Inner entries (12 bytes): key(i64) child(u32); the child of entry k
+/// covers keys > k; keys <= first entry key go to the leftmost child.
+/// Meta page: bytes 4..16 hold root page, next free page, height.
+
+inline constexpr uint8_t kKindFree = 0;
+inline constexpr uint8_t kKindLeaf = 1;
+inline constexpr uint8_t kKindInner = 2;
+inline constexpr uint8_t kKindMeta = 3;
+
+inline constexpr size_t kLeafRecordSize = 64;
+inline constexpr size_t kMaxValueSize = 54;
+inline constexpr size_t kInnerEntrySize = 12;
+inline constexpr size_t kRecordArea = kPagePayloadSize - 8;
+inline constexpr size_t kLeafCapacity = kRecordArea / kLeafRecordSize;
+inline constexpr size_t kInnerCapacity = kRecordArea / kInnerEntrySize;
+
+uint8_t Kind(const PageImage& page);
+uint16_t Count(const PageImage& page);
+uint32_t Link(const PageImage& page);  // right sibling / leftmost child
+
+void InitLeaf(PageImage* page, uint32_t right_sibling);
+void InitInner(PageImage* page, uint32_t leftmost_child);
+void InitMeta(PageImage* page, uint32_t root, uint32_t next_free,
+              uint32_t height);
+void SetLink(PageImage* page, uint32_t link);
+
+// --- leaf records ---
+int64_t LeafKeyAt(const PageImage& page, size_t i);
+std::string LeafValueAt(const PageImage& page, size_t i);
+std::optional<size_t> LeafFind(const PageImage& page, int64_t key);
+/// Inserts or replaces; returns false when the leaf is full.
+bool LeafInsert(PageImage* page, int64_t key, Slice value);
+/// Removes; returns false when absent.
+bool LeafRemove(PageImage* page, int64_t key);
+/// Removes every record with key > split_key.
+void LeafTruncateHigh(PageImage* page, int64_t split_key);
+/// Appends all records with key > split_key from src to dst (dst must be
+/// an empty leaf).
+void LeafCopyHigh(const PageImage& src, PageImage* dst, int64_t split_key);
+
+// --- inner entries ---
+int64_t InnerKeyAt(const PageImage& page, size_t i);
+uint32_t InnerChildAt(const PageImage& page, size_t i);
+/// Child page covering `key` per the layout rule above.
+uint32_t InnerDescend(const PageImage& page, int64_t key);
+/// Inserts a separator entry; returns false when full or duplicate.
+bool InnerInsert(PageImage* page, int64_t key, uint32_t child);
+/// Removes entries with key >= split_key.
+void InnerTruncateHigh(PageImage* page, int64_t split_key);
+/// Moves entries with key > split_key into dst; dst's leftmost child is
+/// the child of the (present) entry whose key == split_key.
+void InnerCopyHigh(const PageImage& src, PageImage* dst, int64_t split_key);
+
+// --- meta page ---
+uint32_t MetaRoot(const PageImage& page);
+uint32_t MetaNextFree(const PageImage& page);
+uint32_t MetaHeight(const PageImage& page);
+
+}  // namespace llb::btree_node
+
+#endif  // LLB_BTREE_BTREE_NODE_H_

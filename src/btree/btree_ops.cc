@@ -1,0 +1,182 @@
+#include "btree/btree_ops.h"
+
+#include "btree/btree_node.h"
+#include "common/coding.h"
+
+namespace llb {
+
+namespace {
+
+namespace node = btree_node;
+
+Status ApplyInsert(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) return Status::Corruption("bad insert record");
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t key = 0;
+  Slice value;
+  PageImage page;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &page));
+  if (reader.ReadFixed64(&key) && reader.ReadLengthPrefixed(&value)) {
+    node::LeafInsert(&page, static_cast<int64_t>(key), value);
+  }
+  return ctx.Write(rec.writeset[0], page);
+}
+
+Status ApplyDelete(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) return Status::Corruption("bad delete record");
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t key = 0;
+  PageImage page;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &page));
+  if (reader.ReadFixed64(&key)) {
+    node::LeafRemove(&page, static_cast<int64_t>(key));
+  }
+  return ctx.Write(rec.writeset[0], page);
+}
+
+Status ApplyMovRec(OpContext& ctx, const LogRecord& rec) {
+  if (rec.readset.size() != 1 || rec.writeset.size() != 1) {
+    return Status::Corruption("bad MovRec record");
+  }
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t raw_key = 0;
+  PageImage old_page;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.readset[0], &old_page));
+  PageImage new_page;
+  if (reader.ReadFixed64(&raw_key)) {
+    int64_t split_key = static_cast<int64_t>(raw_key);
+    if (node::Kind(old_page) == node::kKindInner) {
+      node::InitInner(&new_page, 0);
+      node::InnerCopyHigh(old_page, &new_page, split_key);
+    } else {
+      // Leaf (or, defensively, anything else): the new leaf inherits the
+      // old leaf's right sibling.
+      node::InitLeaf(&new_page, node::Link(old_page));
+      node::LeafCopyHigh(old_page, &new_page, split_key);
+    }
+  }
+  return ctx.Write(rec.writeset[0], new_page);
+}
+
+Status ApplyRmvRec(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) return Status::Corruption("bad RmvRec record");
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t raw_key = 0;
+  uint32_t new_link = 0;
+  PageImage page;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &page));
+  if (reader.ReadFixed64(&raw_key) && reader.ReadFixed32(&new_link)) {
+    int64_t split_key = static_cast<int64_t>(raw_key);
+    if (node::Kind(page) == node::kKindInner) {
+      node::InnerTruncateHigh(&page, split_key);
+    } else {
+      node::LeafTruncateHigh(&page, split_key);
+      node::SetLink(&page, new_link);
+    }
+  }
+  return ctx.Write(rec.writeset[0], page);
+}
+
+Status ApplyInsertIndex(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) {
+    return Status::Corruption("bad InsertIndex record");
+  }
+  SliceReader reader{Slice(rec.payload)};
+  uint64_t raw_key = 0;
+  uint32_t child = 0;
+  PageImage page;
+  LLB_RETURN_IF_ERROR(ctx.Read(rec.writeset[0], &page));
+  if (reader.ReadFixed64(&raw_key) && reader.ReadFixed32(&child)) {
+    node::InnerInsert(&page, static_cast<int64_t>(raw_key), child);
+  }
+  return ctx.Write(rec.writeset[0], page);
+}
+
+Status ApplySetMeta(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) {
+    return Status::Corruption("bad SetMeta record");
+  }
+  SliceReader reader{Slice(rec.payload)};
+  uint32_t root = 0, next_free = 0, height = 0;
+  PageImage page;
+  if (reader.ReadFixed32(&root) && reader.ReadFixed32(&next_free) &&
+      reader.ReadFixed32(&height)) {
+    node::InitMeta(&page, root, next_free, height);
+  }
+  return ctx.Write(rec.writeset[0], page);
+}
+
+}  // namespace
+
+void RegisterBtreeOps(OpRegistry* registry) {
+  registry->Register(kOpBtreeInsert, ApplyInsert);
+  registry->Register(kOpBtreeDelete, ApplyDelete);
+  registry->Register(kOpBtreeMovRec, ApplyMovRec);
+  registry->Register(kOpBtreeRmvRec, ApplyRmvRec);
+  registry->Register(kOpBtreeInsertIndex, ApplyInsertIndex);
+  registry->Register(kOpBtreeSetMeta, ApplySetMeta);
+}
+
+LogRecord MakeBtreeInsert(const PageId& leaf, int64_t key, Slice value) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeInsert;
+  rec.readset = {leaf};
+  rec.writeset = {leaf};
+  PutFixed64(&rec.payload, static_cast<uint64_t>(key));
+  PutLengthPrefixed(&rec.payload, value);
+  return rec;
+}
+
+LogRecord MakeBtreeDelete(const PageId& leaf, int64_t key) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeDelete;
+  rec.readset = {leaf};
+  rec.writeset = {leaf};
+  PutFixed64(&rec.payload, static_cast<uint64_t>(key));
+  return rec;
+}
+
+LogRecord MakeBtreeMovRec(const PageId& old_page, const PageId& new_page,
+                          int64_t split_key) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeMovRec;
+  rec.readset = {old_page};
+  rec.writeset = {new_page};
+  PutFixed64(&rec.payload, static_cast<uint64_t>(split_key));
+  return rec;
+}
+
+LogRecord MakeBtreeRmvRec(const PageId& old_page, int64_t split_key,
+                          uint32_t new_page_link) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeRmvRec;
+  rec.readset = {old_page};
+  rec.writeset = {old_page};
+  PutFixed64(&rec.payload, static_cast<uint64_t>(split_key));
+  PutFixed32(&rec.payload, new_page_link);
+  return rec;
+}
+
+LogRecord MakeBtreeInsertIndex(const PageId& inner, int64_t key,
+                               uint32_t child) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeInsertIndex;
+  rec.readset = {inner};
+  rec.writeset = {inner};
+  PutFixed64(&rec.payload, static_cast<uint64_t>(key));
+  PutFixed32(&rec.payload, child);
+  return rec;
+}
+
+LogRecord MakeBtreeSetMeta(const PageId& meta, uint32_t root,
+                           uint32_t next_free, uint32_t height) {
+  LogRecord rec;
+  rec.op_code = kOpBtreeSetMeta;
+  rec.writeset = {meta};
+  PutFixed32(&rec.payload, root);
+  PutFixed32(&rec.payload, next_free);
+  PutFixed32(&rec.payload, height);
+  return rec;
+}
+
+}  // namespace llb

@@ -1,0 +1,42 @@
+#ifndef LLB_BTREE_BTREE_OPS_H_
+#define LLB_BTREE_BTREE_OPS_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/types.h"
+#include "ops/op_registry.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+/// Registers the B-tree operation apply functions. Call once per
+/// OpRegistry before Database::Recover().
+void RegisterBtreeOps(OpRegistry* registry);
+
+/// Record builders. The split pair demonstrates the paper's running
+/// example (sections 1.3 and 4.1):
+///
+///   MovRec(old, key, new) — logical W_L(old, new): move the records with
+///     keys above `key` from old into the fresh page new. Only operand
+///     ids and the split key are logged — no record data.
+///   RmvRec(old, key)      — physiological: drop those records from old
+///     (and point the leaf chain at new).
+///
+/// MovRec must precede RmvRec in the log; the write graph then requires
+/// new to be flushed before old ("our write graph requires that new be
+/// flushed to S prior to old being overwritten", paper 1.3).
+LogRecord MakeBtreeInsert(const PageId& leaf, int64_t key, Slice value);
+LogRecord MakeBtreeDelete(const PageId& leaf, int64_t key);
+LogRecord MakeBtreeMovRec(const PageId& old_page, const PageId& new_page,
+                          int64_t split_key);
+LogRecord MakeBtreeRmvRec(const PageId& old_page, int64_t split_key,
+                          uint32_t new_page_link);
+LogRecord MakeBtreeInsertIndex(const PageId& inner, int64_t key,
+                               uint32_t child);
+LogRecord MakeBtreeSetMeta(const PageId& meta, uint32_t root,
+                           uint32_t next_free, uint32_t height);
+
+}  // namespace llb
+
+#endif  // LLB_BTREE_BTREE_OPS_H_

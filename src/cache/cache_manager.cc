@@ -1,0 +1,393 @@
+#include "cache/cache_manager.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "ops/operation.h"
+
+namespace llb {
+
+CacheManager::CacheManager(PageStore* stable, LogManager* log,
+                           const OpRegistry* registry,
+                           std::unique_ptr<WriteGraph> graph,
+                           BackupCoordinator* coordinator,
+                           IncrementalTracker* tracker, CacheOptions options)
+    : stable_(stable),
+      log_(log),
+      registry_(registry),
+      graph_(std::move(graph)),
+      coordinator_(coordinator),
+      tracker_(tracker),
+      options_(options) {}
+
+void CacheManager::Touch(const PageId& id, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+}
+
+Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Touch(id, it->second);
+    *frame = &it->second;
+    return Status::OK();
+  }
+  ++stats_.misses;
+  LLB_RETURN_IF_ERROR(EnsureRoom());
+  Frame f;
+  LLB_RETURN_IF_ERROR(stable_->ReadPage(id, &f.image));
+  lru_.push_front(id);
+  f.lru_pos = lru_.begin();
+  auto [pos, inserted] = frames_.emplace(id, std::move(f));
+  *frame = &pos->second;
+  return Status::OK();
+}
+
+Status CacheManager::EnsureRoom() {
+  while (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
+    // Prefer the least-recently-used clean page.
+    PageId victim = kInvalidPageId;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!frames_[*it].dirty) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == kInvalidPageId) {
+      // All dirty: install the coldest page's node, then evict it.
+      victim = lru_.back();
+      LLB_RETURN_IF_ERROR(FlushPageLocked(victim));
+    }
+    auto it = frames_.find(victim);
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Status CacheManager::ReadPage(const PageId& id, PageImage* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame = nullptr;
+  LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
+  *out = frame->image;
+  return Status::OK();
+}
+
+/// Context for normal execution: reads come from the cache; writes are
+/// staged and committed only if the whole operation succeeds.
+class CacheManager::CacheOpContext : public OpContext {
+ public:
+  explicit CacheOpContext(CacheManager* cm) : cm_(cm) {}
+
+  Status Read(const PageId& id, PageImage* out) override {
+    auto sit = staged_.find(id);
+    if (sit != staged_.end()) {
+      *out = sit->second;
+      return Status::OK();
+    }
+    Frame* frame = nullptr;
+    LLB_RETURN_IF_ERROR(cm_->GetFrame(id, &frame));
+    *out = frame->image;
+    return Status::OK();
+  }
+
+  Status Write(const PageId& id, const PageImage& image) override {
+    staged_[id] = image;
+    return Status::OK();
+  }
+
+  std::unordered_map<PageId, PageImage, PageIdHash>& staged() {
+    return staged_;
+  }
+
+ private:
+  CacheManager* const cm_;
+  std::unordered_map<PageId, PageImage, PageIdHash> staged_;
+};
+
+Status CacheManager::ExecuteOp(LogRecord* rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Enforce the single-partition rule (paper 3.4 tracks backup progress
+  // per partition; we preclude cross-partition operations so that flush
+  // ordering never spans partitions — see DESIGN.md).
+  PartitionId partition = 0;
+  bool first = true;
+  for (const std::vector<PageId>* set : {&rec->readset, &rec->writeset}) {
+    for (const PageId& id : *set) {
+      if (first) {
+        partition = id.partition;
+        first = false;
+      } else if (id.partition != partition) {
+        return Status::InvalidArgument(
+            "operation spans partitions: " + id.ToString());
+      }
+    }
+  }
+  if (rec->writeset.empty()) {
+    return Status::InvalidArgument("operation writes nothing");
+  }
+
+  CacheOpContext ctx(this);
+  LLB_RETURN_IF_ERROR(registry_->Apply(ctx, *rec));
+
+  // Every writeset member must have been staged; no extras allowed.
+  if (ctx.staged().size() != rec->writeset.size()) {
+    return Status::Internal("apply wrote a different page set than declared");
+  }
+  for (const PageId& id : rec->writeset) {
+    if (!ctx.staged().count(id)) {
+      return Status::Internal("apply missed declared target " + id.ToString());
+    }
+  }
+
+  Lsn lsn = log_->Append(rec);
+
+  for (auto& [id, image] : ctx.staged()) {
+    Frame* frame = nullptr;
+    LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
+    frame->image = image;
+    frame->image.set_lsn(lsn);
+    frame->dirty = true;
+  }
+  graph_->OnOperation(*rec);
+  ++stats_.ops_applied;
+  return Status::OK();
+}
+
+void CacheManager::DecideBackupLogging(const InstallUnit& unit,
+                                       const BackupProgress& progress,
+                                       std::vector<PageId>* to_log) {
+  if (!progress.active() || options_.policy == BackupPolicy::kNaive) return;
+
+  if (options_.policy == BackupPolicy::kGeneral) {
+    // Paper 3.5: Done(X) or Doubt(X) => Iw/oF; Pend(X) => plain flush.
+    // ("Of course, we can flush pending objects to S, and log only the
+    // non-pending objects.")
+    for (const PageId& x : unit.vars) {
+      BackupRegion region = progress.Classify(BackupPositionOf(x));
+      ++stats_.decisions;
+      switch (region) {
+        case BackupRegion::kDone:
+          ++stats_.region_done;
+          break;
+        case BackupRegion::kDoubt:
+          ++stats_.region_doubt;
+          break;
+        case BackupRegion::kPend:
+          ++stats_.region_pend;
+          break;
+      }
+      if (region != BackupRegion::kPend) {
+        to_log->push_back(x);
+        ++stats_.decisions_logged;
+      }
+    }
+    return;
+  }
+
+  // Tree policy (paper 4.2, Figure 4). Tree nodes have a single var.
+  for (const PageId& x : unit.vars) {
+    BackupRegion rx = progress.Classify(BackupPositionOf(x));
+    ++stats_.decisions;
+    if (unit.has_successors) ++stats_.decisions_succ;
+    switch (rx) {
+      case BackupRegion::kDone:
+        ++stats_.region_done;
+        break;
+      case BackupRegion::kDoubt:
+        ++stats_.region_doubt;
+        break;
+      case BackupRegion::kPend:
+        ++stats_.region_pend;
+        break;
+    }
+
+    bool log_it = false;
+    if (rx == BackupRegion::kPend) {
+      ++stats_.tree_plain_pend_x;  // Pend(X): will reach B
+    } else if (!unit.has_successors) {
+      ++stats_.tree_plain_done_succ;  // S(X) empty: nothing to order against
+    } else {
+      BackupRegion rs = progress.Classify(unit.max_successor_pos);
+      if (rs == BackupRegion::kDone) {
+        ++stats_.tree_plain_done_succ;  // Done(S(X)): no successor reaches B
+      } else if (rx == BackupRegion::kDone) {
+        log_it = true;  // Done(X) & !Done(S(X))
+        ++stats_.tree_iwof_done_x;
+      } else if (rs == BackupRegion::kPend) {
+        log_it = true;  // Doubt(X) & Pend(S(X))
+        ++stats_.tree_iwof_pend_succ;
+      } else if (unit.violation) {
+        log_it = true;  // Doubt & Doubt, dagger fails
+        ++stats_.tree_iwof_doubt_viol;
+      } else {
+        ++stats_.tree_plain_doubt_ok;  // Doubt & Doubt, dagger holds
+      }
+    }
+    if (log_it) {
+      to_log->push_back(x);
+      ++stats_.decisions_logged;
+      if (unit.has_successors) ++stats_.decisions_succ_logged;
+    }
+  }
+}
+
+Status CacheManager::InstallUnitLocked(const InstallUnit& unit) {
+  if (unit.vars.empty()) {
+    graph_->MarkInstalled(unit.node_id);
+    return Status::OK();
+  }
+  PartitionId partition = unit.vars[0].partition;
+  for (const PageId& x : unit.vars) {
+    if (x.partition != partition) {
+      return Status::Internal("install unit spans partitions");
+    }
+  }
+
+  BackupProgress* progress =
+      coordinator_ != nullptr ? coordinator_->Get(partition) : nullptr;
+
+  // Hold the backup latch (share mode) across decide + log + flush so the
+  // fences cannot move mid-install (paper 3.4, Synchronization).
+  std::shared_lock<std::shared_mutex> latch;
+  if (progress != nullptr) {
+    latch = std::shared_lock<std::shared_mutex>(progress->latch());
+  }
+
+  std::vector<PageId> to_log;
+  if (progress != nullptr) DecideBackupLogging(unit, *progress, &to_log);
+
+  // Iw/oF: identity-write the chosen pages — their values go to the media
+  // recovery log, installing their operations in B without relying on the
+  // sweep (paper 3.2).
+  for (const PageId& x : to_log) {
+    Frame* frame = nullptr;
+    LLB_RETURN_IF_ERROR(GetFrame(x, &frame));
+    LogRecord wip = MakeIdentityWrite(x, frame->image);
+    Lsn lsn = log_->Append(&wip);
+    graph_->OnIdentityWrite(x, lsn);
+    frame->image.set_lsn(lsn);
+    ++stats_.identity_writes;
+  }
+
+  // WAL: the operations being installed (and the identity writes) must be
+  // durable before their effects reach the stable database.
+  LLB_RETURN_IF_ERROR(log_->Force());
+
+  // Atomically flush vars(n). (The paper flushes identity-written pages
+  // too before dropping them: "we both log and flush X".)
+  std::vector<PageStore::Entry> batch;
+  batch.reserve(unit.vars.size());
+  for (const PageId& x : unit.vars) {
+    Frame* frame = nullptr;
+    LLB_RETURN_IF_ERROR(GetFrame(x, &frame));
+    batch.push_back(PageStore::Entry{x, frame->image});
+  }
+  LLB_RETURN_IF_ERROR(stable_->WriteBatchAtomic(batch));
+
+  for (const PageId& x : unit.vars) {
+    auto it = frames_.find(x);
+    if (it != frames_.end()) it->second.dirty = false;
+    if (tracker_ != nullptr) tracker_->OnPageFlushed(x);
+  }
+  graph_->MarkInstalled(unit.node_id);
+  ++stats_.node_installs;
+  stats_.pages_flushed += unit.vars.size();
+  return Status::OK();
+}
+
+Status CacheManager::FlushPageLocked(const PageId& x) {
+  if (!graph_->IsTracked(x)) {
+    auto it = frames_.find(x);
+    if (it != frames_.end() && it->second.dirty) {
+      return Status::Internal("dirty page not tracked by write graph: " +
+                              x.ToString());
+    }
+    return Status::OK();
+  }
+  std::vector<InstallUnit> plan;
+  LLB_RETURN_IF_ERROR(graph_->PlanInstall(x, &plan));
+  for (const InstallUnit& unit : plan) {
+    LLB_RETURN_IF_ERROR(InstallUnitLocked(unit));
+  }
+  return Status::OK();
+}
+
+Status CacheManager::FlushPage(const PageId& x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushPageLocked(x);
+}
+
+Status CacheManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Install until no dirty page remains. Installing one page's node can
+  // clean several pages, so re-scan each round.
+  while (true) {
+    PageId dirty = kInvalidPageId;
+    for (const auto& [id, frame] : frames_) {
+      if (frame.dirty) {
+        dirty = id;
+        break;
+      }
+    }
+    if (dirty == kInvalidPageId) break;
+    LLB_RETURN_IF_ERROR(FlushPageLocked(dirty));
+  }
+  return log_->Force();
+}
+
+Status CacheManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec;
+  rec.op_code = kOpCheckpoint;
+  PutFixed64(&rec.payload, graph_->RedoStartLsn(log_->next_lsn()));
+  // Checkpoints have no page writes; give them an empty writeset by
+  // bypassing ExecuteOp.
+  log_->Append(&rec);
+  return log_->Force();
+}
+
+Lsn CacheManager::RedoStartLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_->RedoStartLsn(log_->next_lsn());
+}
+
+Status CacheManager::DropCleanPages() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (!it->second.dirty) {
+      lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+CacheStats CacheManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CacheManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+}
+
+size_t CacheManager::CachedPageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+bool CacheManager::IsDirty(const PageId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  return it != frames_.end() && it->second.dirty;
+}
+
+}  // namespace llb

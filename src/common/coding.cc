@@ -1,0 +1,134 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace llb {
+
+void EncodeFixed32(char* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<char>(value >> (8 * i));
+}
+
+void EncodeFixed64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<char>(value >> (8 * i));
+}
+
+uint32_t DecodeFixed32(const char* src) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= uint32_t{static_cast<unsigned char>(src[i])} << (8 * i);
+  }
+  return value;
+}
+
+uint64_t DecodeFixed64(const char* src) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= uint64_t{static_cast<unsigned char>(src[i])} << (8 * i);
+  }
+  return value;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  dst->push_back(static_cast<char>(value & 0xFF));
+  dst->push_back(static_cast<char>(value >> 8));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+void PutPageId(std::string* dst, const PageId& id) {
+  PutVarint32(dst, id.partition);
+  PutVarint32(dst, id.page);
+}
+
+bool SliceReader::ReadFixed16(uint16_t* value) {
+  if (input_.size() < 2) return false;
+  *value = static_cast<uint16_t>(
+      static_cast<unsigned char>(input_[0]) |
+      (uint16_t{static_cast<unsigned char>(input_[1])} << 8));
+  input_.RemovePrefix(2);
+  return true;
+}
+
+bool SliceReader::ReadFixed32(uint32_t* value) {
+  if (input_.size() < 4) return false;
+  *value = DecodeFixed32(input_.data());
+  input_.RemovePrefix(4);
+  return true;
+}
+
+bool SliceReader::ReadFixed64(uint64_t* value) {
+  if (input_.size() < 8) return false;
+  *value = DecodeFixed64(input_.data());
+  input_.RemovePrefix(8);
+  return true;
+}
+
+bool SliceReader::ReadVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (input_.empty()) return false;
+    unsigned char byte = static_cast<unsigned char>(input_[0]);
+    input_.RemovePrefix(1);
+    result |= uint64_t{byte & 0x7Fu} << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SliceReader::ReadVarint32(uint32_t* value) {
+  uint64_t wide;
+  if (!ReadVarint64(&wide) || wide > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool SliceReader::ReadLengthPrefixed(Slice* value) {
+  uint64_t len;
+  if (!ReadVarint64(&len) || len > input_.size()) return false;
+  *value = Slice(input_.data(), len);
+  input_.RemovePrefix(len);
+  return true;
+}
+
+bool SliceReader::ReadPageId(PageId* id) {
+  return ReadVarint32(&id->partition) && ReadVarint32(&id->page);
+}
+
+bool SliceReader::ReadBytes(size_t n, Slice* value) {
+  if (input_.size() < n) return false;
+  *value = Slice(input_.data(), n);
+  input_.RemovePrefix(n);
+  return true;
+}
+
+}  // namespace llb

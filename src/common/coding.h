@@ -1,0 +1,57 @@
+#ifndef LLB_COMMON_CODING_H_
+#define LLB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace llb {
+
+/// Little-endian fixed-width and LEB128 varint encoders/decoders used by
+/// the log-record and page formats. Decoders are defensive: they never read
+/// past the input and report corruption instead (replay functions must be
+/// total; see DESIGN.md).
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Varint length prefix followed by the bytes.
+void PutLengthPrefixed(std::string* dst, Slice value);
+void PutPageId(std::string* dst, const PageId& id);
+
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* src);
+uint64_t DecodeFixed64(const char* src);
+
+/// Reads values from a Slice, advancing it. All methods return false on
+/// malformed/truncated input (and leave outputs unspecified).
+class SliceReader {
+ public:
+  explicit SliceReader(Slice input) : input_(input) {}
+
+  bool ReadFixed16(uint16_t* value);
+  bool ReadFixed32(uint32_t* value);
+  bool ReadFixed64(uint64_t* value);
+  bool ReadVarint32(uint32_t* value);
+  bool ReadVarint64(uint64_t* value);
+  bool ReadLengthPrefixed(Slice* value);
+  bool ReadPageId(PageId* id);
+  /// Reads exactly n raw bytes.
+  bool ReadBytes(size_t n, Slice* value);
+
+  size_t remaining() const { return input_.size(); }
+  Slice rest() const { return input_; }
+
+ private:
+  Slice input_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_COMMON_CODING_H_

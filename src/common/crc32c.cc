@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+namespace llb::crc32c {
+
+namespace {
+
+// Table-driven CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected
+// 0x82F63B78), one byte at a time. Table built on first use.
+struct Table {
+  uint32_t entries[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& table = GetTable();
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace llb::crc32c

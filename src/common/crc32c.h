@@ -1,0 +1,28 @@
+#ifndef LLB_COMMON_CRC32C_H_
+#define LLB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace llb::crc32c {
+
+/// Computes the CRC-32C (Castagnoli) checksum of `data[0, n)` extending
+/// `init_crc` (pass 0 for a fresh checksum).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masks a CRC so that a CRC of data that itself contains CRCs does not
+/// degenerate (same trick as LevelDB/RocksDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace llb::crc32c
+
+#endif  // LLB_COMMON_CRC32C_H_

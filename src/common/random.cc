@@ -1,0 +1,50 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace llb {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t state = seed;
+  s0_ = SplitMix64(&state);
+  s1_ = SplitMix64(&state);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Power-law approximation: floor(n * u^(1/(1-theta))) concentrates mass
+  // on low ranks; adequate for skewed-workload benchmarking.
+  double u = NextDouble();
+  double v = std::pow(u, 1.0 / (1.0 - theta));
+  uint64_t r = static_cast<uint64_t>(v * static_cast<double>(n));
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace llb

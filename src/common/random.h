@@ -1,0 +1,37 @@
+#ifndef LLB_COMMON_RANDOM_H_
+#define LLB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace llb {
+
+/// Deterministic pseudo-random generator (xorshift128+ seeded via
+/// splitmix64). Used by workload generators and property tests so that
+/// every experiment is reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Zipf-distributed value in [0, n) with exponent theta in (0, 1).
+  /// Approximated by the standard rejection-free power method.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_COMMON_RANDOM_H_

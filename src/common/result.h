@@ -1,0 +1,71 @@
+#ifndef LLB_COMMON_RESULT_H_
+#define LLB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace llb {
+
+/// A value-or-error type: holds either a T or a non-OK Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (by design, mirroring StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define LLB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define LLB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define LLB_ASSIGN_OR_RETURN_NAME(a, b) LLB_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define LLB_ASSIGN_OR_RETURN(lhs, expr) \
+  LLB_ASSIGN_OR_RETURN_IMPL(            \
+      LLB_ASSIGN_OR_RETURN_NAME(_llb_result_, __COUNTER__), lhs, expr)
+
+}  // namespace llb
+
+#endif  // LLB_COMMON_RESULT_H_

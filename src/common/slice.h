@@ -1,0 +1,51 @@
+#ifndef LLB_COMMON_SLICE_H_
+#define LLB_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace llb {
+
+/// A non-owning view of a byte range, in the style of rocksdb::Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const std::vector<char>& v)                                  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+  Slice(const char* cstr) : data_(cstr), size_(strlen(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_COMMON_SLICE_H_

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+namespace llb {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kIoError:
+      name = "IoError";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kFailedPrecondition:
+      name = "FailedPrecondition";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+    case Code::kAlreadyExists:
+      name = "AlreadyExists";
+      break;
+    case Code::kUnrecoverable:
+      name = "Unrecoverable";
+      break;
+  }
+  std::string result(name);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace llb

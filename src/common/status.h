@@ -1,0 +1,92 @@
+#ifndef LLB_COMMON_STATUS_H_
+#define LLB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace llb {
+
+/// Error-handling result type in the style of Arrow/RocksDB/absl.
+///
+/// The library does not use exceptions (per the project style rules);
+/// every fallible operation returns a Status or a Result<T>.
+class Status {
+ public:
+  enum class Code : int {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIoError = 3,
+    kCorruption = 4,
+    kNotSupported = 5,
+    kFailedPrecondition = 6,
+    kInternal = 7,
+    kAlreadyExists = 8,
+    kUnrecoverable = 9,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Unrecoverable(std::string msg) {
+    return Status(Code::kUnrecoverable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnrecoverable() const { return code_ == Code::kUnrecoverable; }
+
+  /// Human-readable rendering, e.g. "Corruption: bad page checksum".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define LLB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::llb::Status _llb_status = (expr);          \
+    if (!_llb_status.ok()) return _llb_status;   \
+  } while (0)
+
+}  // namespace llb
+
+#endif  // LLB_COMMON_STATUS_H_

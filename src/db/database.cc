@@ -1,0 +1,158 @@
+#include "db/database.h"
+
+#include "recovery/checkpoint.h"
+#include "recovery/general_write_graph.h"
+#include "recovery/tree_write_graph.h"
+
+namespace llb {
+
+namespace {
+
+std::unique_ptr<WriteGraph> MakeGraph(WriteGraphKind kind) {
+  switch (kind) {
+    case WriteGraphKind::kPageOriented:
+      return std::make_unique<PageOrientedWriteGraph>();
+    case WriteGraphKind::kGeneral:
+      return std::make_unique<GeneralWriteGraph>();
+    case WriteGraphKind::kTree:
+      return std::make_unique<TreeWriteGraph>();
+  }
+  return std::make_unique<GeneralWriteGraph>();
+}
+
+}  // namespace
+
+Database::Database(Env* env, std::string name, const DbOptions& options)
+    : env_(env),
+      name_(std::move(name)),
+      options_(options),
+      coordinator_(options.partitions) {}
+
+Result<std::unique_ptr<Database>> Database::Open(Env* env,
+                                                 const std::string& name,
+                                                 const DbOptions& options) {
+  if (options.partitions == 0 || options.pages_per_partition == 0) {
+    return Status::InvalidArgument("database needs >= 1 partition and page");
+  }
+  std::unique_ptr<Database> db(new Database(env, name, options));
+  LLB_RETURN_IF_ERROR(db->Init());
+  return db;
+}
+
+Status Database::Init() {
+  LLB_ASSIGN_OR_RETURN(log_, LogManager::Open(env_, LogName(name_)));
+  LLB_ASSIGN_OR_RETURN(
+      stable_, PageStore::Open(env_, StableName(name_), options_.partitions));
+  CacheOptions cache_options;
+  cache_options.capacity_pages = options_.cache_pages;
+  cache_options.policy = options_.backup_policy;
+  cache_ = std::make_unique<CacheManager>(
+      stable_.get(), log_.get(), &registry_, MakeGraph(options_.graph),
+      &coordinator_, &tracker_, cache_options);
+  return Status::OK();
+}
+
+Status Database::Recover() {
+  LLB_ASSIGN_OR_RETURN(Lsn start, FindCrashRedoStart(*log_));
+  LLB_ASSIGN_OR_RETURN(RedoReport report,
+                       RunRedo(*log_, registry_, stable_.get(), start));
+  (void)report;
+  return Status::OK();
+}
+
+Status Database::Execute(LogRecord* rec) { return cache_->ExecuteOp(rec); }
+
+Status Database::ReadPage(const PageId& id, PageImage* out) {
+  return cache_->ReadPage(id, out);
+}
+
+Status Database::FlushPage(const PageId& id) { return cache_->FlushPage(id); }
+
+Status Database::FlushAll() { return cache_->FlushAll(); }
+
+Status Database::Checkpoint() { return cache_->Checkpoint(); }
+
+Status Database::ForceLog() { return log_->Force(); }
+
+Status Database::TruncateLog(Lsn oldest_backup_start_lsn) {
+  Lsn keep_from = cache_->RedoStartLsn();
+  if (oldest_backup_start_lsn != kInvalidLsn &&
+      oldest_backup_start_lsn < keep_from) {
+    keep_from = oldest_backup_start_lsn;
+  }
+  LLB_RETURN_IF_ERROR(log_->TruncatePrefix(keep_from));
+  // Re-anchor crash recovery: the old checkpoint records are gone.
+  return cache_->Checkpoint();
+}
+
+Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
+                                            uint32_t steps) {
+  BackupJobOptions job_options;
+  job_options.steps = steps != 0 ? steps : options_.backup_steps;
+  job_options.parallel_partitions = options_.parallel_backup;
+  return TakeBackupWithOptions(backup_name, job_options);
+}
+
+Result<BackupManifest> Database::TakeBackupWithOptions(
+    const std::string& backup_name, const BackupJobOptions& job_options) {
+  // The media recovery log scan start point is the crash recovery log
+  // scan start point at the time backup begins (paper 1.2). The log up to
+  // here must be durable so a media recovery never misses operations.
+  Lsn start_lsn = cache_->RedoStartLsn();
+  LLB_RETURN_IF_ERROR(log_->Force());
+
+  // Clear the change tracker at backup start: anything flushed during the
+  // sweep is conservatively counted as changed for the next incremental.
+  tracker_.SnapshotAndClear();
+
+  BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
+                options_.pages_per_partition, job_options);
+  LLB_ASSIGN_OR_RETURN(BackupManifest manifest, job.Run(backup_name,
+                                                        start_lsn));
+  ++backups_taken_;
+  backup_pages_copied_ += job.stats().pages_copied;
+  backup_fence_updates_ += job.stats().fence_updates;
+  return manifest;
+}
+
+Result<BackupManifest> Database::TakeIncrementalBackup(
+    const std::string& backup_name, const std::string& base_name,
+    uint32_t steps) {
+  BackupJobOptions job_options;
+  job_options.steps = steps != 0 ? steps : options_.backup_steps;
+  job_options.parallel_partitions = options_.parallel_backup;
+
+  Lsn start_lsn = cache_->RedoStartLsn();
+  LLB_RETURN_IF_ERROR(log_->Force());
+
+  std::vector<PageId> changed = tracker_.SnapshotAndClear();
+
+  BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
+                options_.pages_per_partition, job_options);
+  LLB_ASSIGN_OR_RETURN(
+      BackupManifest manifest,
+      job.RunIncremental(backup_name, base_name, start_lsn,
+                         std::move(changed)));
+  ++backups_taken_;
+  backup_pages_copied_ += job.stats().pages_copied;
+  backup_fence_updates_ += job.stats().fence_updates;
+  return manifest;
+}
+
+DbStats Database::GatherStats() const {
+  DbStats stats;
+  stats.cache = cache_->stats();
+  stats.log = log_->stats();
+  stats.graph = cache_->graph().GetStats();
+  stats.backups_taken = backups_taken_;
+  stats.backup_pages_copied = backup_pages_copied_;
+  stats.backup_fence_updates = backup_fence_updates_;
+  return stats;
+}
+
+void Database::ResetStats() {
+  cache_->ResetStats();
+  log_->ResetStats();
+}
+
+}  // namespace llb

@@ -1,0 +1,9 @@
+#include "io/env.h"
+
+namespace llb {
+
+File::~File() = default;
+FaultInjector::~FaultInjector() = default;
+Env::~Env() = default;
+
+}  // namespace llb

@@ -1,0 +1,102 @@
+#ifndef LLB_IO_ENV_H_
+#define LLB_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace llb {
+
+/// A random-access file. All engine IO (stable database, backup store,
+/// recovery log) goes through this interface so that tests can interpose
+/// deterministic crash/fault behavior.
+///
+/// Durability model: written data is volatile until Sync() succeeds.
+/// A crash (Env::CrashAndRestart in the simulated env) discards all
+/// unsynced data. There are no torn writes at sub-write granularity,
+/// matching the paper's "I/O page atomicity" assumption: a write either
+/// is entirely durable (it was followed by a successful Sync) or entirely
+/// absent after a crash.
+class File {
+ public:
+  virtual ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Reads up to n bytes at offset; appends the bytes actually available
+  /// to *out (fewer than n at end of file).
+  virtual Status ReadAt(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  /// Writes data at offset, extending the file if needed.
+  virtual Status WriteAt(uint64_t offset, Slice data) = 0;
+
+  /// Appends data at the current end of file.
+  virtual Status Append(Slice data) = 0;
+
+  /// Makes all previously written data durable.
+  virtual Status Sync() = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+
+  virtual Status Truncate(uint64_t size) = 0;
+
+ protected:
+  File() = default;
+};
+
+/// Decides the fate of durability events (syncs). Used to schedule crashes
+/// at precise points for recovery property tests.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector();
+  /// Called before each durability event. Returning false makes the event
+  /// (and all subsequent IO until restart) fail with IoError.
+  virtual bool AllowDurableEvent() = 0;
+};
+
+/// Fails every durability event from the (count+1)-th onward.
+class CountdownFaultInjector : public FaultInjector {
+ public:
+  explicit CountdownFaultInjector(uint64_t allowed) : remaining_(allowed) {}
+  bool AllowDurableEvent() override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    return true;
+  }
+  uint64_t remaining() const { return remaining_; }
+
+ private:
+  uint64_t remaining_;
+};
+
+/// File-system environment.
+class Env {
+ public:
+  virtual ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Opens (or creates, if create is true) a file. The returned file stays
+  /// valid across CrashAndRestart (its contents revert to the durable
+  /// image).
+  virtual Result<std::shared_ptr<File>> OpenFile(const std::string& name,
+                                                 bool create) = 0;
+
+  virtual Status DeleteFile(const std::string& name) = 0;
+  virtual bool FileExists(const std::string& name) const = 0;
+  virtual std::vector<std::string> ListFiles() const = 0;
+
+ protected:
+  Env() = default;
+};
+
+}  // namespace llb
+
+#endif  // LLB_IO_ENV_H_

@@ -1,0 +1,4 @@
+#include "io/fault_env.h"
+
+// All fault-injection helpers are header-only; this file intentionally
+// anchors the translation unit for the llb_io library target.

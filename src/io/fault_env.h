@@ -1,0 +1,35 @@
+#ifndef LLB_IO_FAULT_ENV_H_
+#define LLB_IO_FAULT_ENV_H_
+
+#include <cstdint>
+
+#include "io/env.h"
+
+namespace llb {
+
+/// Counts durability events without ever failing one. Crash-sweep property
+/// tests first run a scenario under a RecordingInjector to learn how many
+/// stable writes it performs, then re-run it once per k in [1, total] under
+/// a CountdownFaultInjector(k) to crash at every possible point.
+class RecordingInjector : public FaultInjector {
+ public:
+  bool AllowDurableEvent() override {
+    ++count_;
+    return true;
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Fails exactly the n-th durability event (1-based) and every one after,
+/// i.e. the system crashes *during* that stable write.
+class CrashAtEventInjector : public CountdownFaultInjector {
+ public:
+  explicit CrashAtEventInjector(uint64_t n) : CountdownFaultInjector(n - 1) {}
+};
+
+}  // namespace llb
+
+#endif  // LLB_IO_FAULT_ENV_H_

@@ -1,0 +1,189 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace llb {
+
+/// A file in MemEnv. Thread-safe: the env mutex guards all file state
+/// (files are few and operations short; a single lock keeps the crash
+/// transition atomic with respect to in-flight IO).
+class MemFile : public File {
+ public:
+  explicit MemFile(MemEnv* env) : env_(env) {}
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    if (offset >= data_.size()) return Status::OK();
+    size_t avail = std::min<uint64_t>(n, data_.size() - offset);
+    out->append(data_.data() + offset, avail);
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, Slice data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    if (offset + data.size() > data_.size()) {
+      data_.resize(offset + data.size(), '\0');
+    }
+    std::copy(data.data(), data.data() + data.size(), data_.begin() + offset);
+    MarkDirty(offset, data.size());
+    return Status::OK();
+  }
+
+  Status Append(Slice data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    MarkDirty(data_.size(), data.size());
+    data_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    uint64_t delta =
+        data_.size() >= durable_.size() ? data_.size() - durable_.size() : 0;
+    if (!env_->BeginDurableEvent(delta)) {
+      return Status::IoError("simulated device failure at sync");
+    }
+    // Incremental sync: copy only the ranges written since the last sync
+    // (a full `durable_ = data_` would make every 4 KB page write cost
+    // O(file size)).
+    durable_.resize(data_.size(), '\0');
+    for (const auto& [offset, length] : dirty_ranges_) {
+      size_t end = std::min(offset + length, data_.size());
+      if (offset < end) {
+        std::copy(data_.begin() + offset, data_.begin() + end,
+                  durable_.begin() + offset);
+      }
+    }
+    dirty_ranges_.clear();
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    return uint64_t{data_.size()};
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    uint64_t old_size = data_.size();
+    data_.resize(size, '\0');
+    if (size > old_size) MarkDirty(old_size, size - old_size);
+    return Status::OK();
+  }
+
+ private:
+  friend class MemEnv;
+
+  // mu_ held by callers.
+  void MarkDirty(uint64_t offset, uint64_t length) {
+    if (length == 0) return;
+    // Coalesce with the previous range when adjacent/overlapping (the
+    // common sequential-append pattern).
+    if (!dirty_ranges_.empty()) {
+      auto& [last_offset, last_length] = dirty_ranges_.back();
+      if (offset <= last_offset + last_length &&
+          offset + length >= last_offset) {
+        uint64_t begin = std::min(last_offset, offset);
+        uint64_t end = std::max(last_offset + last_length, offset + length);
+        last_offset = begin;
+        last_length = end - begin;
+        return;
+      }
+    }
+    dirty_ranges_.emplace_back(offset, length);
+  }
+
+  void OnCrashRestart() {
+    data_ = durable_;
+    dirty_ranges_.clear();
+  }
+
+  MemEnv* const env_;
+  std::string data_;     // volatile contents
+  std::string durable_;  // last synced snapshot
+  std::vector<std::pair<uint64_t, uint64_t>> dirty_ranges_;  // since sync
+};
+
+Result<std::shared_ptr<File>> MemEnv::OpenFile(const std::string& name,
+                                               bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it != files_.end()) return std::shared_ptr<File>(it->second);
+  if (!create) return Status::NotFound("no such file: " + name);
+  auto file = std::make_shared<MemFile>(this);
+  files_[name] = file;
+  return std::shared_ptr<File>(file);
+}
+
+Status MemEnv::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> MemEnv::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+void MemEnv::SetFaultInjector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
+void MemEnv::CrashAndRestart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, file] : files_) {
+    file->OnCrashRestart();
+  }
+  blocked_ = false;
+  injector_ = nullptr;
+}
+
+uint64_t MemEnv::durable_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_events_;
+}
+
+uint64_t MemEnv::bytes_synced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_synced_;
+}
+
+bool MemEnv::io_blocked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocked_;
+}
+
+bool MemEnv::BeginDurableEvent(uint64_t bytes) {
+  // mu_ held by caller (file method).
+  if (injector_ != nullptr && !injector_->AllowDurableEvent()) {
+    blocked_ = true;
+    return false;
+  }
+  ++durable_events_;
+  bytes_synced_ += bytes;
+  return true;
+}
+
+bool MemEnv::IoAllowed() const { return !blocked_; }
+
+}  // namespace llb

@@ -1,0 +1,50 @@
+#ifndef LLB_OPS_OP_REGISTRY_H_
+#define LLB_OPS_OP_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "ops/operation.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+/// Applies a logged operation to a context: reads the record's readset
+/// through the context, computes, and stages writes for the full writeset.
+///
+/// Contract (required by the crude redo test, paper section 2.1 "redo
+/// tests can be relatively crude ... and recovery can still succeed"):
+/// apply functions must be *total* — on unexpected input state they must
+/// still stage some value for every writeset member rather than fail,
+/// because redo may legitimately replay an operation whose regenerated
+/// values will be overwritten before any uninstalled operation reads them.
+using OpApplyFn = std::function<Status(OpContext&, const LogRecord&)>;
+
+/// Maps operation codes to their apply functions. The engine core
+/// registers physical/identity writes; each domain (B-tree, file store,
+/// application recovery) registers its operations when attached to a
+/// database.
+class OpRegistry {
+ public:
+  OpRegistry();
+
+  OpRegistry(const OpRegistry&) = delete;
+  OpRegistry& operator=(const OpRegistry&) = delete;
+
+  /// Registers (or replaces) the apply function for an op code.
+  void Register(uint16_t op_code, OpApplyFn fn);
+
+  bool Contains(uint16_t op_code) const;
+
+  /// Dispatches the record to its apply function.
+  Status Apply(OpContext& ctx, const LogRecord& rec) const;
+
+ private:
+  std::unordered_map<uint16_t, OpApplyFn> fns_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_OPS_OP_REGISTRY_H_

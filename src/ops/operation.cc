@@ -1,0 +1,31 @@
+#include "ops/operation.h"
+
+namespace llb {
+
+OpContext::~OpContext() = default;
+
+Status ApplyPhysicalWrite(OpContext& ctx, const LogRecord& rec) {
+  if (rec.writeset.size() != 1) {
+    return Status::Corruption("physical write must have one target");
+  }
+  PageImage image = PageImage::FromRaw(rec.payload);
+  return ctx.Write(rec.writeset[0], image);
+}
+
+LogRecord MakePhysicalWrite(const PageId& id, const PageImage& image) {
+  LogRecord rec;
+  rec.op_code = kOpPhysicalWrite;
+  rec.writeset = {id};
+  rec.payload = image.raw_string();
+  return rec;
+}
+
+LogRecord MakeIdentityWrite(const PageId& id, const PageImage& current) {
+  LogRecord rec;
+  rec.op_code = kOpIdentityWrite;
+  rec.writeset = {id};
+  rec.payload = current.raw_string();
+  return rec;
+}
+
+}  // namespace llb

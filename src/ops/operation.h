@@ -1,0 +1,47 @@
+#ifndef LLB_OPS_OPERATION_H_
+#define LLB_OPS_OPERATION_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+/// The state an operation reads and writes while being applied. During
+/// normal execution the context is backed by the cache manager; during
+/// redo it is backed by the recovery image. Using one apply function for
+/// both guarantees replay reproduces execution (determinism by
+/// construction).
+class OpContext {
+ public:
+  virtual ~OpContext();
+
+  /// Reads the current image of a page.
+  virtual Status Read(const PageId& id, PageImage* out) = 0;
+
+  /// Stages the new image of a page. The engine commits staged writes for
+  /// the record's writeset (redo commits only stale targets, implementing
+  /// the per-target LSN redo test).
+  virtual Status Write(const PageId& id, const PageImage& image) = 0;
+
+ protected:
+  OpContext() = default;
+};
+
+/// Applies the core physical/identity write: payload is the full page
+/// image for writeset[0]. Total: tolerates short payloads by
+/// zero-extension.
+Status ApplyPhysicalWrite(OpContext& ctx, const LogRecord& rec);
+
+/// Builds a physical-write record (W_P) for `id` carrying `image`.
+LogRecord MakePhysicalWrite(const PageId& id, const PageImage& image);
+
+/// Builds an identity-write record (W_IP) for `id` carrying its current
+/// image: the paper's cache-manager identity write (section 2.5), the
+/// extra logging used by install-without-flush.
+LogRecord MakeIdentityWrite(const PageId& id, const PageImage& current);
+
+}  // namespace llb
+
+#endif  // LLB_OPS_OPERATION_H_

@@ -1,0 +1,149 @@
+#include "recovery/media_recovery.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+namespace {
+
+// After a point-in-time restore, the excluded log suffix must go away —
+// otherwise the next crash recovery would replay it and undo the PITR.
+Status TruncateLogAfter(Env* env, const std::string& log_name, Lsn cut) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(log_name, /*create=*/false));
+  LLB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string contents;
+  LLB_RETURN_IF_ERROR(file->ReadAt(0, size, &contents));
+  Slice cursor(contents);
+  uint64_t keep = 0;
+  LogRecord rec;
+  while (!cursor.empty()) {
+    size_t before = cursor.size();
+    if (!LogRecord::DecodeFrom(&cursor, &rec).ok()) break;
+    if (rec.lsn > cut) break;
+    keep += before - cursor.size();
+  }
+  LLB_RETURN_IF_ERROR(file->Truncate(keep));
+  return file->Sync();
+}
+
+}  // namespace
+
+Result<MediaRecoveryReport> RestoreFromBackup(Env* env,
+                                              const std::string& stable_prefix,
+                                              const std::string& log_name,
+                                              const std::string& backup_name,
+                                              const OpRegistry& registry) {
+  return RestoreFromBackupWithOptions(env, stable_prefix, log_name,
+                                      backup_name, registry,
+                                      RestoreOptions{});
+}
+
+Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
+    Env* env, const std::string& stable_prefix, const std::string& log_name,
+    const std::string& backup_name, const OpRegistry& registry,
+    const RestoreOptions& options) {
+  MediaRecoveryReport report;
+
+  // Collect the incremental chain, base first.
+  std::vector<BackupManifest> chain;
+  std::string current = backup_name;
+  while (true) {
+    LLB_ASSIGN_OR_RETURN(BackupManifest m, BackupManifest::Load(env, current));
+    if (!m.complete) {
+      return Status::FailedPrecondition("backup incomplete: " + current);
+    }
+    bool is_incremental = m.incremental;
+    std::string base = m.base_name;
+    chain.push_back(std::move(m));
+    if (!is_incremental) break;
+    if (base.empty()) {
+      return Status::Corruption("incremental backup without base: " + current);
+    }
+    current = base;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  const BackupManifest& base = chain.front();
+  const BackupManifest& newest = chain.back();
+
+  // A point-in-time target must not precede the backup's own completion:
+  // pages in B can carry LSNs up to end_lsn, and redo never rolls state
+  // back. To reach an earlier time, restore an earlier backup.
+  if (options.stop_at_lsn != kInvalidLsn &&
+      options.stop_at_lsn < newest.end_lsn) {
+    return Status::InvalidArgument(
+        "point-in-time target precedes the backup's end LSN; restore an "
+        "earlier backup instead");
+  }
+  if (options.partition_only && options.partition >= base.partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+
+  LLB_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageStore> stable,
+      PageStore::Open(env, stable_prefix, base.partitions));
+
+  // 1. Restore the full base backup: copy pages B -> S (all partitions,
+  //    or just the failed one).
+  {
+    LLB_ASSIGN_OR_RETURN(
+        std::unique_ptr<PageStore> backup,
+        PageStore::Open(env, base.StoreName(), base.partitions));
+    for (PartitionId p = 0; p < base.partitions; ++p) {
+      if (options.partition_only && p != options.partition) continue;
+      for (uint32_t page = 0; page < base.pages_per_partition; ++page) {
+        PageId id{p, page};
+        PageImage image;
+        LLB_RETURN_IF_ERROR(backup->ReadPage(id, &image));
+        LLB_RETURN_IF_ERROR(stable->WritePage(id, image));
+        ++report.pages_restored;
+      }
+    }
+    ++report.backups_applied;
+  }
+
+  // 2. Apply incremental deltas in order.
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const BackupManifest& delta = chain[i];
+    LLB_ASSIGN_OR_RETURN(
+        std::unique_ptr<PageStore> store,
+        PageStore::Open(env, delta.StoreName(), delta.partitions));
+    for (const PageId& id : delta.pages) {
+      if (options.partition_only && id.partition != options.partition) {
+        continue;
+      }
+      PageImage image;
+      LLB_RETURN_IF_ERROR(store->ReadPage(id, &image));
+      LLB_RETURN_IF_ERROR(stable->WritePage(id, image));
+      ++report.pages_restored;
+    }
+    ++report.backups_applied;
+  }
+
+  // 3. Roll forward from the newest backup's scan start point.
+  LLB_ASSIGN_OR_RETURN(std::unique_ptr<LogManager> log,
+                       LogManager::Open(env, log_name));
+  const PartitionId* only =
+      options.partition_only ? &options.partition : nullptr;
+  LLB_ASSIGN_OR_RETURN(
+      report.redo,
+      RunRedoRange(*log, registry, stable.get(), newest.start_lsn,
+                   options.stop_at_lsn, only));
+
+  // Point-in-time recovery discards the excluded log suffix (a partition-
+  // only restore must NOT: other partitions still need those records).
+  if (options.stop_at_lsn != kInvalidLsn && !options.partition_only) {
+    log.reset();
+    LLB_RETURN_IF_ERROR(TruncateLogAfter(env, log_name, options.stop_at_lsn));
+  }
+  return report;
+}
+
+}  // namespace llb

@@ -1,0 +1,61 @@
+#ifndef LLB_RECOVERY_MEDIA_RECOVERY_H_
+#define LLB_RECOVERY_MEDIA_RECOVERY_H_
+
+#include <string>
+
+#include "backup/backup_store.h"
+#include "common/result.h"
+#include "io/env.h"
+#include "ops/op_registry.h"
+#include "recovery/redo.h"
+
+namespace llb {
+
+struct MediaRecoveryReport {
+  uint64_t pages_restored = 0;   // pages copied from backups into S
+  uint32_t backups_applied = 0;  // full + incremental chain length
+  RedoReport redo;               // the roll-forward
+};
+
+/// Media recovery (paper section 1): restore the stable database S from
+/// backup B, then roll the restored state forward by applying the media
+/// recovery log from the backup's recorded scan start point.
+///
+/// `stable_prefix` names S's page store, `log_name` the recovery log, and
+/// `backup_name` the backup to restore from. If the backup is incremental
+/// the base chain is restored first (paper 6.1).
+///
+/// Must run offline (no live Database over `stable_prefix`), as in the
+/// paper: "restoring ... is usually done off-line because media failure
+/// frequently precludes database activity".
+Result<MediaRecoveryReport> RestoreFromBackup(Env* env,
+                                              const std::string& stable_prefix,
+                                              const std::string& log_name,
+                                              const std::string& backup_name,
+                                              const OpRegistry& registry);
+
+/// Restore options for the extended entry point.
+struct RestoreOptions {
+  /// Roll forward only up to this LSN (point-in-time recovery; the paper
+  /// notes recovery may target "some designated earlier time"). 0 / max
+  /// means the end of the log.
+  Lsn stop_at_lsn = kInvalidLsn;
+
+  /// When set, restore only this partition: its pages are copied from
+  /// the backup chain and only operations writing it are replayed. Sound
+  /// because operations never span partitions ("preventing operations
+  /// from having operands from more than one partition makes a partition
+  /// the unit of media recovery", paper 6.3). Other partitions of S are
+  /// left untouched.
+  bool partition_only = false;
+  PartitionId partition = 0;
+};
+
+Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
+    Env* env, const std::string& stable_prefix, const std::string& log_name,
+    const std::string& backup_name, const OpRegistry& registry,
+    const RestoreOptions& options);
+
+}  // namespace llb
+
+#endif  // LLB_RECOVERY_MEDIA_RECOVERY_H_

@@ -1,0 +1,86 @@
+#ifndef LLB_RECOVERY_TREE_WRITE_GRAPH_H_
+#define LLB_RECOVERY_TREE_WRITE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "recovery/write_graph.h"
+
+namespace llb {
+
+/// Write graph for the paper's restricted "tree operations" (section 4):
+///
+///   1. page-oriented ops  — read (at most) an existing object `old` and
+///      write `old`;
+///   2. write-new ops W_L(old, new) — read `old`, write a *new* object.
+///
+/// Every node has a single var, edges only run node(new) -> node(old)
+/// ("new is a predecessor of old"), and the graph is a forest: no joins,
+/// no cycles, no multi-page atomic flushes.
+///
+/// For the backup case analysis (section 4.2) each dirty object X carries:
+///   * MAX(X) — the largest backup position over its (transitive,
+///     potential-included) successor set S(X), maintained incrementally:
+///     on W_L(Y, X), MAX(X) = max(#Y, MAX(Y));
+///   * violation(X) — set when #X < #Y for an immediate successor Y or
+///     when violation(Y) holds; once set it never clears while X is dirty
+///     ("once an order violation appears among S(X), any subsequently
+///     added predecessors ... must likewise be installed using Iw/oF").
+///
+/// Operations reading pages other than their write target (e.g. the
+/// application-recovery R(X, A), which reads X and writes A) register the
+/// read page as a successor the same way: A must be flushed before any
+/// later update of X is flushed (paper 6.2).
+class TreeWriteGraph : public WriteGraph {
+ public:
+  TreeWriteGraph() = default;
+
+  void OnOperation(const LogRecord& rec) override;
+  void OnIdentityWrite(const PageId& x, Lsn lsn) override;
+  Status PlanInstall(const PageId& x, std::vector<InstallUnit>* plan) override;
+  void MarkInstalled(uint64_t node_id) override;
+  bool IsTracked(const PageId& x) const override;
+  Lsn RedoStartLsn(Lsn next_lsn) const override;
+  WriteGraphStats GetStats() const override;
+
+  /// Test hooks.
+  bool HasSuccessors(const PageId& x) const;
+  BackupPos MaxSuccessorPos(const PageId& x) const;
+  bool Violation(const PageId& x) const;
+  bool MustInstallBefore(const PageId& pred, const PageId& succ) const;
+
+ private:
+  struct TNode {
+    uint64_t id = 0;
+    PageId page;
+    Lsn min_lsn;
+    Lsn max_lsn;
+    bool identity_written = false;  // var removed; nothing left to flush
+    // Pages that must be installed before this one (the `new` objects of
+    // W_L ops whose `old` this page is).
+    std::unordered_set<PageId, PageIdHash> preds;
+    // Successor-set summary S(X).
+    bool has_succ = false;
+    BackupPos max_pos = 0;
+    bool violation = false;
+  };
+
+  TNode& GetOrCreate(const PageId& x, Lsn lsn);
+  void AddSuccessor(TNode& writer, const PageId& read_page);
+
+  std::unordered_map<PageId, TNode, PageIdHash> dirty_;
+  std::unordered_map<uint64_t, PageId> by_id_;
+  // watch_[Y] = dirty pages X that must install before any future update
+  // of Y ("potential successor" tracking).
+  std::unordered_map<PageId, std::unordered_set<PageId, PageIdHash>,
+                     PageIdHash>
+      watch_;
+  uint64_t next_id_ = 1;
+  WriteGraphStats stats_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_RECOVERY_TREE_WRITE_GRAPH_H_

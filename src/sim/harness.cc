@@ -1,0 +1,44 @@
+#include "sim/harness.h"
+
+#include "apprec/app_ops.h"
+#include "btree/btree_ops.h"
+#include "filestore/file_ops.h"
+
+namespace llb {
+
+void RegisterAllOps(OpRegistry* registry) {
+  RegisterBtreeOps(registry);
+  RegisterFileOps(registry);
+  RegisterAppOps(registry);
+}
+
+Result<std::unique_ptr<TestEngine>> TestEngine::Create(
+    const DbOptions& options, const std::string& name) {
+  std::unique_ptr<TestEngine> engine(new TestEngine(options, name));
+  LLB_RETURN_IF_ERROR(engine->Open());
+  return engine;
+}
+
+Status TestEngine::Open() {
+  LLB_ASSIGN_OR_RETURN(db_, Database::Open(&env_, name_, options_));
+  RegisterAllOps(db_->registry());
+  return db_->Recover();
+}
+
+Status TestEngine::CrashAndRecover() {
+  db_.reset();
+  env_.CrashAndRestart();
+  return Open();
+}
+
+Status TestEngine::Reopen() {
+  db_.reset();
+  return Open();
+}
+
+Status TestEngine::Shutdown() {
+  db_.reset();
+  return Status::OK();
+}
+
+}  // namespace llb

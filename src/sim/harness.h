@@ -1,0 +1,56 @@
+#ifndef LLB_SIM_HARNESS_H_
+#define LLB_SIM_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "io/mem_env.h"
+
+namespace llb {
+
+/// Registers every domain's operations (core ops are registered by the
+/// OpRegistry constructor).
+void RegisterAllOps(OpRegistry* registry);
+
+/// Owns a MemEnv plus a Database opened over it, with every domain's
+/// operations registered and crash recovery run — the boilerplate shared
+/// by tests, examples, and benchmarks.
+class TestEngine {
+ public:
+  /// Opens (and recovers) a database called `name` in a fresh MemEnv.
+  static Result<std::unique_ptr<TestEngine>> Create(const DbOptions& options,
+                                                    const std::string& name =
+                                                        "db");
+
+  TestEngine(const TestEngine&) = delete;
+  TestEngine& operator=(const TestEngine&) = delete;
+
+  MemEnv* env() { return &env_; }
+  Database* db() { return db_.get(); }
+
+  /// Simulates a crash (all unsynced state lost) and reopens + recovers.
+  Status CrashAndRecover();
+
+  /// Closes and reopens without a crash (volatile file state preserved).
+  Status Reopen();
+
+  /// Closes the database (e.g. before off-line media recovery). Use
+  /// Reopen() to come back.
+  Status Shutdown();
+
+ private:
+  TestEngine(DbOptions options, std::string name)
+      : options_(options), name_(std::move(name)) {}
+
+  Status Open();
+
+  MemEnv env_;
+  DbOptions options_;
+  std::string name_;
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_SIM_HARNESS_H_

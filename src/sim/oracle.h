@@ -1,0 +1,63 @@
+#ifndef LLB_SIM_ORACLE_H_
+#define LLB_SIM_ORACLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ops/op_registry.h"
+#include "recovery/redo.h"
+#include "storage/page_store.h"
+#include "wal/log_manager.h"
+
+namespace llb::testutil {
+
+/// The recovery oracle: re-executing the entire durable log from LSN 1
+/// onto an empty store *defines* the correct current state (apply
+/// functions are shared between execution and replay, so this IS the
+/// execution history). Any correctly recovered (crash or media) stable
+/// database must match it page for page.
+///
+/// Note `use_identity_seeds = false`: from an empty store nothing is
+/// installed, so every record — identity writes included — applies
+/// strictly in order. Seeding (the real-recovery fast path) would be
+/// unsound here: it could jump a page past an earlier logical operation
+/// that still needs that page's older value (see recovery/redo.h).
+inline Status BuildOracle(Env* env, const LogManager& log,
+                          const OpRegistry& registry,
+                          const std::string& prefix, uint32_t partitions,
+                          std::unique_ptr<PageStore>* out) {
+  LLB_ASSIGN_OR_RETURN(*out, PageStore::Open(env, prefix, partitions));
+  LLB_ASSIGN_OR_RETURN(
+      RedoReport report,
+      RunRedoRange(log, registry, out->get(), /*start_lsn=*/1,
+                   /*end_lsn=*/kInvalidLsn, /*only_partition=*/nullptr,
+                   /*use_identity_seeds=*/false));
+  (void)report;
+  return Status::OK();
+}
+
+/// Compares two stores page by page on logical content (LSN + payload);
+/// returns the first differing page id as a string, or "" when identical.
+inline std::string DiffStores(const PageStore& a, const PageStore& b,
+                              uint32_t partitions,
+                              uint32_t pages_per_partition) {
+  for (uint32_t p = 0; p < partitions; ++p) {
+    for (uint32_t page = 0; page < pages_per_partition; ++page) {
+      PageId id{p, page};
+      PageImage ia, ib;
+      Status sa = a.ReadPage(id, &ia);
+      Status sb = b.ReadPage(id, &ib);
+      if (!sa.ok() || !sb.ok()) return id.ToString() + " (read error)";
+      if (ia.lsn() != ib.lsn() || !(ia.payload() == ib.payload())) {
+        return id.ToString();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace llb::testutil
+
+#endif  // LLB_SIM_ORACLE_H_

@@ -1,0 +1,84 @@
+#ifndef LLB_SIM_WORKLOAD_H_
+#define LLB_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "filestore/filestore.h"
+
+namespace llb {
+
+/// Drives general logical operations with uniformly distributed flushed
+/// objects — the workload the paper's section-5 analysis models. Each
+/// step executes one Copy between two uniformly chosen one-page files and
+/// flushes the target.
+class GeneralUniformDriver {
+ public:
+  GeneralUniformDriver(Database* db, PartitionId partition,
+                       uint32_t num_pages, uint64_t seed);
+
+  Status Step();
+
+ private:
+  Database* const db_;
+  FileStore files_;
+  Random rng_;
+  const uint32_t num_pages_;
+};
+
+/// Drives tree operations matching the section-5.2 model: every flushed
+/// "new" object has exactly one (transitively summarized) successor at a
+/// uniformly distributed position. Each step:
+///   1. W_L(Y, X): copy a uniformly chosen page Y into a fresh page X
+///      (logical write-new), then flush X — the model's decision point;
+///   2. update Y in place (physiological transform) and flush it.
+/// Fresh pages are consumed from a shuffled uniform permutation; the
+/// driver fails with FailedPrecondition when they run out (size the
+/// experiment accordingly — a page may be "new" only once, paper 4.1).
+class TreeUniformDriver {
+ public:
+  TreeUniformDriver(Database* db, PartitionId partition, uint32_t num_pages,
+                    uint64_t seed);
+
+  Status Step();
+
+  uint32_t remaining_fresh() const {
+    return static_cast<uint32_t>(fresh_.size()) - fresh_cursor_;
+  }
+
+ private:
+  Database* const db_;
+  FileStore files_;
+  Random rng_;
+  const uint32_t num_pages_;
+  std::vector<uint32_t> fresh_;   // shuffled never-written page ids
+  uint32_t fresh_cursor_ = 0;
+  std::vector<uint32_t> written_;  // pages eligible as copy sources
+  bool sources_initialized_ = false;
+};
+
+/// Random B-tree inserts (keys uniform in [0, key_space)).
+class BtreeInsertDriver {
+ public:
+  BtreeInsertDriver(BTree* tree, int64_t key_space, uint64_t seed)
+      : tree_(tree), key_space_(key_space), rng_(seed) {}
+
+  Status Step();
+
+  uint64_t inserted() const { return inserted_; }
+
+ private:
+  BTree* const tree_;
+  const int64_t key_space_;
+  Random rng_;
+  uint64_t inserted_ = 0;
+};
+
+}  // namespace llb
+
+#endif  // LLB_SIM_WORKLOAD_H_

@@ -1,0 +1,59 @@
+#include "storage/page.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+PageImage PageImage::FromRaw(std::string raw) {
+  PageImage image;
+  raw.resize(kPageSize, '\0');
+  image.data_ = std::move(raw);
+  return image;
+}
+
+Lsn PageImage::lsn() const { return DecodeFixed64(data_.data()); }
+
+void PageImage::set_lsn(Lsn lsn) { EncodeFixed64(data_.data(), lsn); }
+
+PageType PageImage::type() const {
+  return static_cast<PageType>(static_cast<uint16_t>(
+      static_cast<unsigned char>(data_[12]) |
+      (uint16_t{static_cast<unsigned char>(data_[13])} << 8)));
+}
+
+void PageImage::set_type(PageType type) {
+  uint16_t v = static_cast<uint16_t>(type);
+  data_[12] = static_cast<char>(v & 0xFF);
+  data_[13] = static_cast<char>(v >> 8);
+}
+
+void PageImage::SetPayload(Slice value) {
+  size_t n = std::min(value.size(), kPagePayloadSize);
+  std::memcpy(data_.data() + kPageHeaderSize, value.data(), n);
+  if (n < kPagePayloadSize) {
+    std::memset(data_.data() + kPageHeaderSize + n, 0, kPagePayloadSize - n);
+  }
+}
+
+void PageImage::Seal() {
+  uint32_t crc = crc32c::Value(data_.data() + 12, kPageSize - 12);
+  EncodeFixed32(data_.data() + 8, crc32c::Mask(crc));
+}
+
+Status PageImage::VerifyChecksum() const {
+  if (IsZero()) return Status::OK();  // never-written page
+  uint32_t stored = crc32c::Unmask(DecodeFixed32(data_.data() + 8));
+  uint32_t actual = crc32c::Value(data_.data() + 12, kPageSize - 12);
+  if (stored != actual) return Status::Corruption("bad page checksum");
+  return Status::OK();
+}
+
+bool PageImage::IsZero() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](char c) { return c == '\0'; });
+}
+
+}  // namespace llb

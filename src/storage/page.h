@@ -1,0 +1,83 @@
+#ifndef LLB_STORAGE_PAGE_H_
+#define LLB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace llb {
+
+/// Fixed page size for the whole engine.
+inline constexpr size_t kPageSize = 4096;
+
+/// On-page header layout (16 bytes, little-endian):
+///   [0..8)  page LSN — LSN of the last operation applied to this page
+///   [8..12) CRC32C of bytes [12..kPageSize), masked
+///   [12..14) page type (domain tag: free/btree/file/app/...)
+///   [14..16) reserved flags
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr size_t kPagePayloadSize = kPageSize - kPageHeaderSize;
+
+enum class PageType : uint16_t {
+  kFree = 0,
+  kRaw = 1,
+  kBtree = 2,
+  kFile = 3,
+  kApp = 4,
+};
+
+/// An in-memory page image. Value type (copyable); the cache manager,
+/// page stores, redo, and the backup sweep all traffic in PageImage.
+class PageImage {
+ public:
+  /// Zero-filled page (LSN 0, type kFree). A zero page is the state of
+  /// every never-written page and verifies as valid.
+  PageImage() : data_(kPageSize, '\0') {}
+
+  /// Adopts a raw page-sized buffer (checksum not verified here).
+  static PageImage FromRaw(std::string raw);
+
+  Lsn lsn() const;
+  void set_lsn(Lsn lsn);
+
+  PageType type() const;
+  void set_type(PageType type);
+
+  /// Read-only payload view (kPagePayloadSize bytes).
+  Slice payload() const {
+    return Slice(data_.data() + kPageHeaderSize, kPagePayloadSize);
+  }
+  /// Mutable payload pointer.
+  char* mutable_payload() { return data_.data() + kPageHeaderSize; }
+
+  /// Replaces the payload with `value` (truncated / zero-padded to fit).
+  void SetPayload(Slice value);
+
+  /// Recomputes and stores the header checksum. Must be called after any
+  /// mutation, before the page is written to a store.
+  void Seal();
+
+  /// Verifies the stored checksum.
+  Status VerifyChecksum() const;
+
+  /// Entire kPageSize image.
+  Slice raw() const { return Slice(data_.data(), data_.size()); }
+  const std::string& raw_string() const { return data_; }
+
+  bool IsZero() const;
+
+  friend bool operator==(const PageImage& a, const PageImage& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_STORAGE_PAGE_H_

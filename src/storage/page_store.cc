@@ -1,0 +1,205 @@
+#include "storage/page_store.h"
+
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+namespace {
+constexpr uint32_t kJournalMagic = 0x4C4C424Au;  // "LLBJ"
+}  // namespace
+
+Result<std::unique_ptr<PageStore>> PageStore::Open(Env* env,
+                                                   const std::string& prefix,
+                                                   uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("page store needs >= 1 partition");
+  }
+  std::unique_ptr<PageStore> store(
+      new PageStore(env, prefix, num_partitions));
+  LLB_RETURN_IF_ERROR(store->OpenFiles());
+  LLB_RETURN_IF_ERROR(store->RecoverJournal());
+  return store;
+}
+
+Status PageStore::OpenFiles() {
+  partition_files_.resize(num_partitions_);
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    LLB_ASSIGN_OR_RETURN(
+        partition_files_[p],
+        env_->OpenFile(prefix_ + ".p" + std::to_string(p), /*create=*/true));
+  }
+  LLB_ASSIGN_OR_RETURN(journal_,
+                       env_->OpenFile(prefix_ + ".journal", /*create=*/true));
+  return Status::OK();
+}
+
+Status PageStore::RecoverJournal() {
+  LLB_ASSIGN_OR_RETURN(uint64_t size, journal_->Size());
+  if (size == 0) return Status::OK();
+  std::string blob;
+  LLB_RETURN_IF_ERROR(journal_->ReadAt(0, size, &blob));
+
+  // Journal layout: magic(4) count(4) entries{partition(4) page(4)
+  // image(kPageSize)}* crc(4). If the blob does not parse or the CRC is
+  // wrong, the batch never committed: discard it.
+  auto discard = [&]() -> Status {
+    LLB_RETURN_IF_ERROR(journal_->Truncate(0));
+    return journal_->Sync();
+  };
+
+  SliceReader reader{Slice(blob)};
+  uint32_t magic = 0, count = 0;
+  if (!reader.ReadFixed32(&magic) || magic != kJournalMagic ||
+      !reader.ReadFixed32(&count)) {
+    return discard();
+  }
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    Slice image;
+    if (!reader.ReadFixed32(&e.id.partition) ||
+        !reader.ReadFixed32(&e.id.page) ||
+        !reader.ReadBytes(kPageSize, &image) ||
+        e.id.partition >= num_partitions_) {
+      return discard();
+    }
+    e.image = PageImage::FromRaw(image.ToString());
+    entries.push_back(std::move(e));
+  }
+  uint32_t stored_crc = 0;
+  if (!reader.ReadFixed32(&stored_crc) ||
+      stored_crc !=
+          crc32c::Value(blob.data(), blob.size() - reader.remaining() - 4)) {
+    return discard();
+  }
+
+  // Committed: (re)apply all page writes, then clear the journal.
+  for (const Entry& e : entries) {
+    LLB_RETURN_IF_ERROR(WritePageLocked(e.id, e.image));
+  }
+  return discard();
+}
+
+Status PageStore::ReadPage(const PageId& id, PageImage* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadPageLocked(id, out);
+}
+
+Status PageStore::ReadPageLocked(const PageId& id, PageImage* out) const {
+  if (id.partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  std::string raw;
+  LLB_RETURN_IF_ERROR(partition_files_[id.partition]->ReadAt(
+      uint64_t{id.page} * kPageSize, kPageSize, &raw));
+  *out = PageImage::FromRaw(std::move(raw));
+  return out->VerifyChecksum();
+}
+
+Status PageStore::WritePage(const PageId& id, const PageImage& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageImage sealed = image;
+  sealed.Seal();
+  return WritePageLocked(id, sealed);
+}
+
+Status PageStore::WritePageLocked(const PageId& id, const PageImage& sealed) {
+  if (id.partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  File* file = partition_files_[id.partition].get();
+  LLB_RETURN_IF_ERROR(
+      file->WriteAt(uint64_t{id.page} * kPageSize, sealed.raw()));
+  return file->Sync();
+}
+
+Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {
+  if (entries.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries.size() == 1) {
+    PageImage sealed = entries[0].image;
+    sealed.Seal();
+    return WritePageLocked(entries[0].id, sealed);
+  }
+
+  std::vector<Entry> sealed;
+  sealed.reserve(entries.size());
+  for (const Entry& e : entries) {
+    sealed.push_back(e);
+    sealed.back().image.Seal();
+  }
+
+  // 1. Persist the shadow journal.
+  std::string blob;
+  PutFixed32(&blob, kJournalMagic);
+  PutFixed32(&blob, static_cast<uint32_t>(sealed.size()));
+  for (const Entry& e : sealed) {
+    PutFixed32(&blob, e.id.partition);
+    PutFixed32(&blob, e.id.page);
+    blob.append(e.image.raw().data(), kPageSize);
+  }
+  PutFixed32(&blob, crc32c::Value(blob.data(), blob.size()));
+  LLB_RETURN_IF_ERROR(journal_->Truncate(0));
+  LLB_RETURN_IF_ERROR(journal_->WriteAt(0, Slice(blob)));
+  LLB_RETURN_IF_ERROR(journal_->Sync());
+
+  // 2. Apply the page writes (each durable; a crash here is repaired by
+  //    journal replay at the next open).
+  for (const Entry& e : sealed) {
+    LLB_RETURN_IF_ERROR(WritePageLocked(e.id, e.image));
+  }
+
+  // 3. Retire the journal.
+  LLB_RETURN_IF_ERROR(journal_->Truncate(0));
+  return journal_->Sync();
+}
+
+Result<uint32_t> PageStore::PageCount(PartitionId partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  LLB_ASSIGN_OR_RETURN(uint64_t size, partition_files_[partition]->Size());
+  return static_cast<uint32_t>(size / kPageSize);
+}
+
+Status PageStore::WipePartition(PartitionId partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  LLB_RETURN_IF_ERROR(partition_files_[partition]->Truncate(0));
+  return partition_files_[partition]->Sync();
+}
+
+Status PageStore::CorruptPage(const PageId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id.partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  std::string junk(kPageSize, '\xDB');
+  File* file = partition_files_[id.partition].get();
+  LLB_RETURN_IF_ERROR(
+      file->WriteAt(uint64_t{id.page} * kPageSize, Slice(junk)));
+  return file->Sync();
+}
+
+Status PageStore::CopyAllFrom(const PageStore& src,
+                              uint32_t pages_per_partition) {
+  for (uint32_t p = 0; p < num_partitions_ && p < src.num_partitions(); ++p) {
+    for (uint32_t page = 0; page < pages_per_partition; ++page) {
+      PageId id{p, page};
+      PageImage image;
+      LLB_RETURN_IF_ERROR(src.ReadPage(id, &image));
+      std::lock_guard<std::mutex> lock(mu_);
+      LLB_RETURN_IF_ERROR(WritePageLocked(id, image));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace llb

@@ -1,0 +1,98 @@
+#ifndef LLB_WAL_LOG_MANAGER_H_
+#define LLB_WAL_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+#include "wal/log_writer.h"
+
+namespace llb {
+
+/// Per-operation-class logging statistics, used by the benchmarks to
+/// measure the extra logging the backup protocol induces (paper section 5).
+struct LogStats {
+  uint64_t records = 0;
+  uint64_t identity_records = 0;  // W_IP records: the Iw/oF "extra logging"
+  uint64_t bytes = 0;
+  uint64_t identity_bytes = 0;
+  uint64_t forces = 0;
+};
+
+/// Owns the recovery log: assigns LSNs, appends records, forces them
+/// durable (WAL), and scans them for redo. The same log serves crash
+/// recovery and media recovery ("maintaining the media recovery log is
+/// conventional", paper section 1); media recovery simply scans from the
+/// start point recorded when its backup began.
+class LogManager {
+ public:
+  /// Opens (creating if needed) the log, scanning any existing durable
+  /// records to find the next LSN to assign.
+  static Result<std::unique_ptr<LogManager>> Open(Env* env,
+                                                  const std::string& name);
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Assigns the next LSN to *record, buffers it, and returns the LSN.
+  Lsn Append(LogRecord* record);
+
+  /// Makes all appended records durable.
+  Status Force();
+
+  /// LSN that will be assigned to the next record.
+  Lsn next_lsn() const;
+
+  /// Highest LSN known durable (<= last appended).
+  Lsn durable_lsn() const;
+
+  /// Scans durable records with lsn >= start_lsn in order. The callback
+  /// may return non-OK to abort the scan.
+  Status Scan(Lsn start_lsn,
+              const std::function<Status(const LogRecord&)>& fn) const;
+
+  LogStats stats() const;
+
+  /// Resets the identity-record counters (benchmarks sample deltas).
+  void ResetStats();
+
+  /// Physically discards all records with lsn < keep_from, rewriting the
+  /// log file. Callers must ensure no recovery path still needs the
+  /// prefix: keep_from must not exceed the crash-redo scan start NOR the
+  /// start_lsn of any backup that may still be restored (identity-write
+  /// records "permit the truncation of the log in the same way that
+  /// flushing does", paper 3.2).
+  Status TruncatePrefix(Lsn keep_from);
+
+ private:
+  LogManager(Env* env, std::string name, std::shared_ptr<File> file,
+             Lsn next_lsn)
+      : env_(env),
+        name_(std::move(name)),
+        file_(std::move(file)),
+        writer_(file_),
+        next_lsn_(next_lsn),
+        durable_lsn_(next_lsn - 1) {}
+
+  Env* const env_;
+  const std::string name_;
+  std::shared_ptr<File> file_;
+
+  mutable std::mutex mu_;
+  LogWriter writer_;
+  Lsn next_lsn_;
+  Lsn durable_lsn_;
+  Lsn last_appended_ = kInvalidLsn;
+  LogStats stats_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_WAL_LOG_MANAGER_H_

@@ -1,0 +1,26 @@
+#include "wal/log_reader.h"
+
+namespace llb {
+
+Status LogReader::Init() {
+  LLB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  contents_.clear();
+  LLB_RETURN_IF_ERROR(file_->ReadAt(0, size, &contents_));
+  cursor_ = Slice(contents_);
+  return Status::OK();
+}
+
+bool LogReader::Next(LogRecord* record) {
+  if (cursor_.empty()) return false;
+  Status s = LogRecord::DecodeFrom(&cursor_, record);
+  if (!s.ok()) {
+    // Incomplete or corrupt tail: the log ends here. (A corrupt record
+    // mid-log would also stop the scan; with force-before-use WAL
+    // discipline the tail is the only place this occurs.)
+    cursor_ = Slice();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace llb

@@ -1,0 +1,38 @@
+#ifndef LLB_WAL_LOG_READER_H_
+#define LLB_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "wal/log_record.h"
+
+namespace llb {
+
+/// Sequentially decodes records from a log file. Stops cleanly at the
+/// first incomplete or corrupt tail record (data that never made it to a
+/// successful force before a crash).
+class LogReader {
+ public:
+  explicit LogReader(std::shared_ptr<File> file) : file_(std::move(file)) {}
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Loads the durable contents. Must be called before Next().
+  Status Init();
+
+  /// Reads the next record. Returns false at end of (valid) log.
+  bool Next(LogRecord* record);
+
+ private:
+  std::shared_ptr<File> file_;
+  std::string contents_;
+  Slice cursor_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_WAL_LOG_READER_H_

@@ -1,0 +1,70 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+namespace {
+
+void EncodeBody(const LogRecord& rec, std::string* body) {
+  PutFixed64(body, rec.lsn);
+  PutFixed16(body, rec.op_code);
+  PutVarint32(body, static_cast<uint32_t>(rec.readset.size()));
+  for (const PageId& id : rec.readset) PutPageId(body, id);
+  PutVarint32(body, static_cast<uint32_t>(rec.writeset.size()));
+  for (const PageId& id : rec.writeset) PutPageId(body, id);
+  body->append(rec.payload);
+}
+
+}  // namespace
+
+size_t LogRecord::EncodedSize() const {
+  std::string body;
+  EncodeBody(*this, &body);
+  return 8 + body.size();
+}
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  std::string body;
+  EncodeBody(*this, &body);
+  PutFixed32(dst, static_cast<uint32_t>(body.size()));
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  dst->append(body);
+}
+
+Status LogRecord::DecodeFrom(Slice* input, LogRecord* out) {
+  if (input->size() < 8) return Status::NotFound("end of log");
+  uint32_t len = DecodeFixed32(input->data());
+  uint32_t masked_crc = DecodeFixed32(input->data() + 4);
+  if (input->size() < 8 + uint64_t{len}) return Status::NotFound("end of log");
+  Slice body(input->data() + 8, len);
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(body.data(), len)) {
+    return Status::Corruption("log record crc mismatch");
+  }
+
+  SliceReader reader(body);
+  uint32_t nread = 0, nwrite = 0;
+  out->readset.clear();
+  out->writeset.clear();
+  if (!reader.ReadFixed64(&out->lsn) || !reader.ReadFixed16(&out->op_code) ||
+      !reader.ReadVarint32(&nread)) {
+    return Status::Corruption("malformed log record");
+  }
+  for (uint32_t i = 0; i < nread; ++i) {
+    PageId id;
+    if (!reader.ReadPageId(&id)) return Status::Corruption("bad readset");
+    out->readset.push_back(id);
+  }
+  if (!reader.ReadVarint32(&nwrite)) return Status::Corruption("bad writeset");
+  for (uint32_t i = 0; i < nwrite; ++i) {
+    PageId id;
+    if (!reader.ReadPageId(&id)) return Status::Corruption("bad writeset");
+    out->writeset.push_back(id);
+  }
+  out->payload.assign(reader.rest().data(), reader.remaining());
+  input->RemovePrefix(8 + len);
+  return Status::OK();
+}
+
+}  // namespace llb

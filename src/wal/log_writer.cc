@@ -1,0 +1,20 @@
+#include "wal/log_writer.h"
+
+namespace llb {
+
+Status LogWriter::Add(const LogRecord& record) {
+  size_t before = buffer_.size();
+  record.EncodeTo(&buffer_);
+  bytes_logged_ += buffer_.size() - before;
+  return Status::OK();
+}
+
+Status LogWriter::Force() {
+  if (!buffer_.empty()) {
+    LLB_RETURN_IF_ERROR(file_->Append(Slice(buffer_)));
+    buffer_.clear();
+  }
+  return file_->Sync();
+}
+
+}  // namespace llb

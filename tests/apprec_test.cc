@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apprec/app_recovery.h"
+#include "sim/harness.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+DbOptions AppDbOptions() {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = 256;
+  options.cache_pages = 64;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  return options;
+}
+
+class AppRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = TestEngine::Create(AppDbOptions());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(engine).value();
+    // Messages low, applications last (paper 6.2 layout).
+    apps_ = std::make_unique<AppRecovery>(engine_->db(), 0, /*msg_base=*/0,
+                                          /*num_msgs=*/128, /*app_base=*/240,
+                                          /*num_apps=*/8);
+  }
+
+  std::unique_ptr<TestEngine> engine_;
+  std::unique_ptr<AppRecovery> apps_;
+};
+
+TEST_F(AppRecoveryTest, InitAndDigest) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK_AND_ASSIGN(uint64_t digest, apps_->AppDigest(0));
+  EXPECT_EQ(digest, 1u);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, apps_->AppOpCount(0));
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(AppRecoveryTest, ExecAdvancesState) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK_AND_ASSIGN(uint64_t before, apps_->AppDigest(0));
+  ASSERT_OK(apps_->Exec(0, 42));
+  ASSERT_OK_AND_ASSIGN(uint64_t after, apps_->AppDigest(0));
+  EXPECT_NE(before, after);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, apps_->AppOpCount(0));
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(AppRecoveryTest, ExecIsDeterministic) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK(apps_->InitApp(1));
+  // Same digest seeds make same transitions... app ids differ, so align:
+  ASSERT_OK(apps_->Exec(0, 7));
+  ASSERT_OK(apps_->Exec(0, 8));
+  // Replaying identical history on a second engine yields same digest.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> other,
+                       TestEngine::Create(AppDbOptions()));
+  AppRecovery apps2(other->db(), 0, 0, 128, 240, 8);
+  ASSERT_OK(apps2.InitApp(0));
+  ASSERT_OK(apps2.Exec(0, 7));
+  ASSERT_OK(apps2.Exec(0, 8));
+  ASSERT_OK_AND_ASSIGN(uint64_t a, apps_->AppDigest(0));
+  ASSERT_OK_AND_ASSIGN(uint64_t b, apps2.AppDigest(0));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(AppRecoveryTest, ReadConsumesMessageContents) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK(apps_->WriteMessage(3, 1234));
+  ASSERT_OK_AND_ASSIGN(uint64_t before, apps_->AppDigest(0));
+  ASSERT_OK(apps_->Read(0, 3));
+  ASSERT_OK_AND_ASSIGN(uint64_t after, apps_->AppDigest(0));
+  EXPECT_NE(before, after);
+}
+
+TEST_F(AppRecoveryTest, ReadDependsOnMessageValue) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK(apps_->InitApp(1));
+  ASSERT_OK(apps_->WriteMessage(0, 111));
+  ASSERT_OK(apps_->WriteMessage(1, 222));
+  // Same starting digests would be needed for a strict comparison; use
+  // two messages against one app in sequence and confirm the order makes
+  // the digest differ from the swapped order on a twin engine.
+  ASSERT_OK(apps_->Read(0, 0));
+  ASSERT_OK(apps_->Read(0, 1));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> other,
+                       TestEngine::Create(AppDbOptions()));
+  AppRecovery apps2(other->db(), 0, 0, 128, 240, 8);
+  ASSERT_OK(apps2.InitApp(0));
+  ASSERT_OK(apps2.WriteMessage(0, 111));
+  ASSERT_OK(apps2.WriteMessage(1, 222));
+  ASSERT_OK(apps2.Read(0, 1));
+  ASSERT_OK(apps2.Read(0, 0));
+  ASSERT_OK_AND_ASSIGN(uint64_t a, apps_->AppDigest(0));
+  ASSERT_OK_AND_ASSIGN(uint64_t b, apps2.AppDigest(0));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(AppRecoveryTest, WriteEmitsDeterministicMessage) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK(apps_->Exec(0, 5));
+  ASSERT_OK(apps_->Write(0, 7));
+  PageImage msg;
+  ASSERT_OK(engine_->db()->ReadPage(apps_->MsgPage(7), &msg));
+  EXPECT_FALSE(msg.IsZero());
+}
+
+TEST_F(AppRecoveryTest, HistorySurvivesCrashWithoutFlush) {
+  ASSERT_OK(apps_->InitApp(0));
+  ASSERT_OK(apps_->WriteMessage(2, 99));
+  ASSERT_OK(apps_->Read(0, 2));
+  ASSERT_OK(apps_->Exec(0, 13));
+  ASSERT_OK_AND_ASSIGN(uint64_t digest, apps_->AppDigest(0));
+  ASSERT_OK(engine_->db()->ForceLog());
+  ASSERT_OK(engine_->CrashAndRecover());
+  AppRecovery reopened(engine_->db(), 0, 0, 128, 240, 8);
+  ASSERT_OK_AND_ASSIGN(uint64_t recovered, reopened.AppDigest(0));
+  EXPECT_EQ(recovered, digest);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, reopened.AppOpCount(0));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(AppRecoveryTest, BadIdsRejected) {
+  EXPECT_FALSE(apps_->InitApp(99).ok());
+  EXPECT_FALSE(apps_->Exec(99, 1).ok());
+  EXPECT_FALSE(apps_->Read(0, 9999).ok());
+  EXPECT_FALSE(apps_->Write(0, 9999).ok());
+}
+
+}  // namespace
+}  // namespace llb

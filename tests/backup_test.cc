@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "backup/backup_job.h"
+#include "backup/backup_progress.h"
+#include "backup/backup_store.h"
+#include "backup/incremental_tracker.h"
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+TEST(BackupProgressTest, InactiveMeansEverythingPending) {
+  BackupProgress progress;
+  EXPECT_FALSE(progress.active());
+  EXPECT_EQ(progress.Classify(0), BackupRegion::kPend);
+  EXPECT_EQ(progress.Classify(999), BackupRegion::kPend);
+}
+
+TEST(BackupProgressTest, RegionsFollowFences) {
+  BackupProgress progress;
+  progress.SetPendingFence(10);
+  progress.SetDoneFence();     // D = 10
+  progress.SetPendingFence(20);
+  EXPECT_TRUE(progress.active());
+  EXPECT_EQ(progress.Classify(9), BackupRegion::kDone);
+  EXPECT_EQ(progress.Classify(10), BackupRegion::kDoubt);
+  EXPECT_EQ(progress.Classify(19), BackupRegion::kDoubt);
+  EXPECT_EQ(progress.Classify(20), BackupRegion::kPend);
+}
+
+TEST(BackupProgressTest, ResetReturnsToInactive) {
+  BackupProgress progress;
+  progress.SetPendingFence(10);
+  progress.Reset();
+  EXPECT_FALSE(progress.active());
+  EXPECT_EQ(progress.Classify(0), BackupRegion::kPend);
+}
+
+TEST(BackupProgressTest, FenceUpdateCountTracksSyncCost) {
+  BackupProgress progress;
+  uint64_t before = progress.fence_updates();
+  progress.SetPendingFence(5);
+  progress.SetDoneFence();
+  progress.Reset();
+  EXPECT_EQ(progress.fence_updates() - before, 3u);
+}
+
+TEST(BackupCoordinatorTest, OneProgressPerPartition) {
+  BackupCoordinator coordinator(3);
+  EXPECT_EQ(coordinator.num_partitions(), 3u);
+  coordinator.Get(1)->SetPendingFence(4);
+  EXPECT_TRUE(coordinator.Get(1)->active());
+  EXPECT_FALSE(coordinator.Get(0)->active());
+  EXPECT_FALSE(coordinator.Get(2)->active());
+}
+
+TEST(BackupManifestTest, SaveLoadRoundTrip) {
+  MemEnv env;
+  BackupManifest m;
+  m.name = "bk1";
+  m.start_lsn = 7;
+  m.end_lsn = 99;
+  m.partitions = 2;
+  m.pages_per_partition = 64;
+  m.steps = 8;
+  m.complete = true;
+  m.incremental = true;
+  m.base_name = "bk0";
+  m.pages = {PageId{0, 3}, PageId{1, 5}};
+  ASSERT_OK(m.Save(&env));
+
+  ASSERT_OK_AND_ASSIGN(BackupManifest loaded, BackupManifest::Load(&env, "bk1"));
+  EXPECT_EQ(loaded.name, "bk1");
+  EXPECT_EQ(loaded.start_lsn, 7u);
+  EXPECT_EQ(loaded.end_lsn, 99u);
+  EXPECT_EQ(loaded.partitions, 2u);
+  EXPECT_EQ(loaded.pages_per_partition, 64u);
+  EXPECT_EQ(loaded.steps, 8u);
+  EXPECT_TRUE(loaded.complete);
+  EXPECT_TRUE(loaded.incremental);
+  EXPECT_EQ(loaded.base_name, "bk0");
+  EXPECT_EQ(loaded.pages, m.pages);
+}
+
+TEST(BackupManifestTest, LoadMissingFails) {
+  MemEnv env;
+  EXPECT_FALSE(BackupManifest::Load(&env, "nope").ok());
+}
+
+TEST(BackupManifestTest, CorruptManifestDetected) {
+  MemEnv env;
+  BackupManifest m;
+  m.name = "bk";
+  ASSERT_OK(m.Save(&env));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f,
+                       env.OpenFile("bk.manifest", false));
+  ASSERT_OK(f->WriteAt(5, Slice("XX")));
+  EXPECT_TRUE(BackupManifest::Load(&env, "bk").status().IsCorruption());
+}
+
+TEST(IncrementalTrackerTest, TracksAndClears) {
+  IncrementalTracker tracker;
+  tracker.OnPageFlushed(PageId{0, 5});
+  tracker.OnPageFlushed(PageId{0, 2});
+  tracker.OnPageFlushed(PageId{0, 5});  // duplicate
+  EXPECT_EQ(tracker.PendingCount(), 2u);
+  auto pages = tracker.SnapshotAndClear();
+  EXPECT_EQ(pages, (std::vector<PageId>{PageId{0, 2}, PageId{0, 5}}));
+  EXPECT_EQ(tracker.PendingCount(), 0u);
+}
+
+class BackupJobTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = PageStore::Open(&env_, "stable", kPartitions);
+    ASSERT_TRUE(store.ok());
+    stable_ = std::move(store).value();
+    auto log = LogManager::Open(&env_, "log");
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(log).value();
+    coordinator_ = std::make_unique<BackupCoordinator>(kPartitions);
+
+    // Populate the stable database.
+    for (uint32_t p = 0; p < kPartitions; ++p) {
+      for (uint32_t page = 0; page < kPages; ++page) {
+        PageImage image;
+        std::string content = "p" + std::to_string(p) + ":" +
+                              std::to_string(page);
+        image.SetPayload(Slice(content));
+        image.set_lsn(page + 1);
+        ASSERT_OK(stable_->WritePage(PageId{p, page}, image));
+      }
+    }
+  }
+
+  static constexpr uint32_t kPartitions = 2;
+  static constexpr uint32_t kPages = 32;
+
+  MemEnv env_;
+  std::unique_ptr<PageStore> stable_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BackupCoordinator> coordinator_;
+};
+
+TEST_F(BackupJobTest, FullBackupCopiesEveryPage) {
+  BackupJobOptions options;
+  options.steps = 4;
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                options);
+  ASSERT_OK_AND_ASSIGN(BackupManifest manifest, job.Run("bk", 1));
+  EXPECT_TRUE(manifest.complete);
+  EXPECT_EQ(job.stats().pages_copied, uint64_t{kPartitions} * kPages);
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PageStore> backup,
+                       PageStore::Open(&env_, manifest.StoreName(),
+                                       kPartitions));
+  EXPECT_EQ(testutil::DiffStores(*stable_, *backup, kPartitions, kPages), "");
+}
+
+TEST_F(BackupJobTest, ProgressResetAfterCompletion) {
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                BackupJobOptions{});
+  ASSERT_OK(job.Run("bk", 1).status());
+  for (uint32_t p = 0; p < kPartitions; ++p) {
+    EXPECT_FALSE(coordinator_->Get(p)->active());
+  }
+}
+
+TEST_F(BackupJobTest, StepCountControlsFenceUpdates) {
+  BackupJobOptions few, many;
+  few.steps = 1;
+  many.steps = 16;
+  BackupJob job_few(&env_, stable_.get(), coordinator_.get(), log_.get(),
+                    kPages, few);
+  ASSERT_OK(job_few.Run("bk1", 1).status());
+  uint64_t fences_few = job_few.stats().fence_updates;
+  BackupJob job_many(&env_, stable_.get(), coordinator_.get(), log_.get(),
+                     kPages, many);
+  ASSERT_OK(job_many.Run("bk2", 1).status());
+  EXPECT_GT(job_many.stats().fence_updates, fences_few);
+}
+
+TEST_F(BackupJobTest, ParallelPartitionsProduceSameBackup) {
+  BackupJobOptions options;
+  options.steps = 4;
+  options.parallel_partitions = true;
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                options);
+  ASSERT_OK_AND_ASSIGN(BackupManifest manifest, job.Run("bkp", 1));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PageStore> backup,
+                       PageStore::Open(&env_, manifest.StoreName(),
+                                       kPartitions));
+  EXPECT_EQ(testutil::DiffStores(*stable_, *backup, kPartitions, kPages), "");
+}
+
+TEST_F(BackupJobTest, MidStepHookObservesDoubtWindow) {
+  BackupJobOptions options;
+  options.steps = 4;
+  int calls = 0;
+  options.mid_step = [&](PartitionId partition, uint32_t step) {
+    ++calls;
+    BackupProgress* progress = coordinator_->Get(partition);
+    std::shared_lock<std::shared_mutex> latch(progress->latch());
+    EXPECT_TRUE(progress->active());
+    EXPECT_LT(progress->done_fence(), progress->pending_fence());
+    EXPECT_EQ(progress->pending_fence(),
+              step == 4 ? kPages : (kPages * step) / 4);
+    return Status::OK();
+  };
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                options);
+  ASSERT_OK(job.Run("bk", 1).status());
+  EXPECT_EQ(calls, 8);  // 4 steps x 2 partitions
+}
+
+TEST_F(BackupJobTest, IncrementalCopiesOnlyListedPages) {
+  BackupJobOptions options;
+  options.steps = 2;
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                options);
+  std::vector<PageId> changed{PageId{0, 3}, PageId{1, 7}, PageId{1, 30}};
+  ASSERT_OK_AND_ASSIGN(BackupManifest manifest,
+                       job.RunIncremental("inc", "base", 5, changed));
+  EXPECT_TRUE(manifest.incremental);
+  EXPECT_EQ(manifest.base_name, "base");
+  EXPECT_EQ(manifest.pages.size(), 3u);
+  EXPECT_EQ(job.stats().pages_copied, 3u);
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PageStore> backup,
+                       PageStore::Open(&env_, manifest.StoreName(),
+                                       kPartitions));
+  PageImage copied, untouched;
+  ASSERT_OK(backup->ReadPage(PageId{0, 3}, &copied));
+  EXPECT_FALSE(copied.IsZero());
+  ASSERT_OK(backup->ReadPage(PageId{0, 4}, &untouched));
+  EXPECT_TRUE(untouched.IsZero());
+}
+
+TEST_F(BackupJobTest, FirstStepDoubtWindowCoversStart) {
+  // With one step, the whole partition is in doubt during the sweep.
+  BackupJobOptions options;
+  options.steps = 1;
+  bool checked = false;
+  options.mid_step = [&](PartitionId partition, uint32_t) {
+    BackupProgress* progress = coordinator_->Get(partition);
+    std::shared_lock<std::shared_mutex> latch(progress->latch());
+    EXPECT_EQ(progress->Classify(0), BackupRegion::kDoubt);
+    EXPECT_EQ(progress->Classify(kPages - 1), BackupRegion::kDoubt);
+    EXPECT_EQ(progress->Classify(kPages), BackupRegion::kPend);
+    checked = true;
+    return Status::OK();
+  };
+  BackupJob job(&env_, stable_.get(), coordinator_.get(), log_.get(), kPages,
+                options);
+  ASSERT_OK(job.Run("bk", 1).status());
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace llb

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache_manager.h"
+#include "filestore/file_ops.h"
+#include "io/mem_env.h"
+#include "ops/operation.h"
+#include "recovery/general_write_graph.h"
+#include "recovery/tree_write_graph.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+PageId P(uint32_t page) { return PageId{0, page}; }
+
+PageImage ValuePage(const std::string& content) {
+  PageImage page;
+  page.SetPayload(Slice(content));
+  page.set_type(PageType::kRaw);
+  return page;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void Init(BackupPolicy policy, bool tree_graph = false,
+            size_t capacity = 64) {
+    RegisterFileOps(&registry_);
+    auto log = LogManager::Open(&env_, "log");
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(log).value();
+    auto store = PageStore::Open(&env_, "stable", 1);
+    ASSERT_TRUE(store.ok());
+    stable_ = std::move(store).value();
+    coordinator_ = std::make_unique<BackupCoordinator>(1);
+    CacheOptions options;
+    options.capacity_pages = capacity;
+    options.policy = policy;
+    std::unique_ptr<WriteGraph> graph;
+    if (tree_graph) {
+      graph = std::make_unique<TreeWriteGraph>();
+    } else {
+      graph = std::make_unique<GeneralWriteGraph>();
+    }
+    cache_ = std::make_unique<CacheManager>(
+        stable_.get(), log_.get(), &registry_, std::move(graph),
+        coordinator_.get(), &tracker_, options);
+  }
+
+  void SetFences(BackupPos done, BackupPos pending) {
+    BackupProgress* progress = coordinator_->Get(0);
+    std::unique_lock<std::shared_mutex> latch(progress->latch());
+    progress->SetPendingFence(pending);
+    if (done != 0) {
+      // Emulate a completed step: D advances to P then P moves on.
+      BackupPos p = progress->pending_fence();
+      progress->SetPendingFence(done);
+      progress->SetDoneFence();
+      progress->SetPendingFence(p);
+    }
+  }
+
+  Status WritePageOp(uint32_t page, const std::string& content) {
+    LogRecord rec = MakePhysicalWrite(P(page), ValuePage(content));
+    return cache_->ExecuteOp(&rec);
+  }
+
+  Status CopyOp(uint32_t src, uint32_t dst) {
+    LogRecord rec = MakeFileCopy({P(src)}, {P(dst)});
+    return cache_->ExecuteOp(&rec);
+  }
+
+  MemEnv env_;
+  OpRegistry registry_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<PageStore> stable_;
+  std::unique_ptr<BackupCoordinator> coordinator_;
+  IncrementalTracker tracker_;
+  std::unique_ptr<CacheManager> cache_;
+};
+
+TEST_F(CacheTest, ExecuteAndReadBack) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "hello"));
+  PageImage page;
+  ASSERT_OK(cache_->ReadPage(P(1), &page));
+  EXPECT_EQ(page.payload().ToString().substr(0, 5), "hello");
+  EXPECT_TRUE(cache_->IsDirty(P(1)));
+  EXPECT_EQ(page.lsn(), 1u);
+}
+
+TEST_F(CacheTest, OpsAssignMonotoneLsns) {
+  Init(BackupPolicy::kGeneral);
+  LogRecord a = MakePhysicalWrite(P(1), ValuePage("a"));
+  LogRecord b = MakePhysicalWrite(P(2), ValuePage("b"));
+  ASSERT_OK(cache_->ExecuteOp(&a));
+  ASSERT_OK(cache_->ExecuteOp(&b));
+  EXPECT_LT(a.lsn, b.lsn);
+}
+
+TEST_F(CacheTest, RejectsCrossPartitionOps) {
+  Init(BackupPolicy::kGeneral);
+  LogRecord rec = MakeFileCopy({PageId{0, 1}}, {PageId{1, 2}});
+  EXPECT_FALSE(cache_->ExecuteOp(&rec).ok());
+}
+
+TEST_F(CacheTest, RejectsWriteFreeOps) {
+  Init(BackupPolicy::kGeneral);
+  LogRecord rec;
+  rec.op_code = kOpFileCopy;
+  rec.readset = {P(1)};
+  EXPECT_FALSE(cache_->ExecuteOp(&rec).ok());
+}
+
+TEST_F(CacheTest, FlushMakesPageCleanAndStable) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "persist me"));
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  EXPECT_FALSE(cache_->IsDirty(P(1)));
+  PageImage page;
+  ASSERT_OK(stable_->ReadPage(P(1), &page));
+  EXPECT_EQ(page.payload().ToString().substr(0, 10), "persist me");
+}
+
+TEST_F(CacheTest, FlushForcesWalFirst) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "walled"));
+  EXPECT_LT(log_->durable_lsn(), 1u);
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  EXPECT_GE(log_->durable_lsn(), 1u);
+}
+
+TEST_F(CacheTest, FlushRespectsWriteGraphOrder) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "src"));
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  ASSERT_OK(CopyOp(1, 2));       // reads 1 writes 2
+  ASSERT_OK(WritePageOp(1, "overwrite"));  // writer of 1: reader -> writer
+  // Flushing page 1 must install the copy's node (page 2) first.
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  EXPECT_FALSE(cache_->IsDirty(P(2)));
+  PageImage page;
+  ASSERT_OK(stable_->ReadPage(P(2), &page));
+  EXPECT_EQ(page.payload().ToString().substr(0, 3), "src");
+}
+
+TEST_F(CacheTest, FlushAllCleansEverything) {
+  Init(BackupPolicy::kGeneral);
+  for (uint32_t i = 1; i <= 10; ++i) {
+    ASSERT_OK(WritePageOp(i, "x" + std::to_string(i)));
+  }
+  ASSERT_OK(cache_->FlushAll());
+  for (uint32_t i = 1; i <= 10; ++i) EXPECT_FALSE(cache_->IsDirty(P(i)));
+  EXPECT_EQ(cache_->RedoStartLsn(), log_->next_lsn());
+}
+
+TEST_F(CacheTest, EvictionFlushesDirtyVictims) {
+  Init(BackupPolicy::kGeneral, /*tree_graph=*/false, /*capacity=*/8);
+  for (uint32_t i = 1; i <= 32; ++i) {
+    ASSERT_OK(WritePageOp(i, "v" + std::to_string(i)));
+  }
+  EXPECT_LE(cache_->CachedPageCount(), 8u);
+  // Every page readable with its own value (read-through after evict).
+  for (uint32_t i = 1; i <= 32; ++i) {
+    PageImage page;
+    ASSERT_OK(cache_->ReadPage(P(i), &page));
+    EXPECT_EQ(page.payload().ToString().substr(0, 1 + (i >= 10 ? 2 : 1)),
+              "v" + std::to_string(i));
+  }
+  EXPECT_GT(cache_->stats().evictions, 0u);
+}
+
+TEST_F(CacheTest, NoIdentityWritesWhenBackupInactive) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "quiet"));
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  EXPECT_EQ(cache_->stats().identity_writes, 0u);
+  EXPECT_EQ(cache_->stats().decisions, 0u);
+}
+
+TEST_F(CacheTest, GeneralPolicyLogsDoneAndDoubtRegions) {
+  Init(BackupPolicy::kGeneral);
+  // Fences: done < 10, doubt [10, 20), pend >= 20.
+  SetFences(/*done=*/10, /*pending=*/20);
+  ASSERT_OK(WritePageOp(5, "done-region"));
+  ASSERT_OK(WritePageOp(15, "doubt-region"));
+  ASSERT_OK(WritePageOp(25, "pend-region"));
+  ASSERT_OK(cache_->FlushPage(P(5)));
+  ASSERT_OK(cache_->FlushPage(P(15)));
+  ASSERT_OK(cache_->FlushPage(P(25)));
+  CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.decisions, 3u);
+  EXPECT_EQ(stats.decisions_logged, 2u);  // done + doubt
+  EXPECT_EQ(stats.identity_writes, 2u);
+  EXPECT_EQ(stats.region_done, 1u);
+  EXPECT_EQ(stats.region_doubt, 1u);
+  EXPECT_EQ(stats.region_pend, 1u);
+  EXPECT_EQ(log_->stats().identity_records, 2u);
+}
+
+TEST_F(CacheTest, NaivePolicyNeverLogs) {
+  Init(BackupPolicy::kNaive);
+  SetFences(10, 20);
+  ASSERT_OK(WritePageOp(5, "done-region"));
+  ASSERT_OK(cache_->FlushPage(P(5)));
+  EXPECT_EQ(cache_->stats().identity_writes, 0u);
+}
+
+TEST_F(CacheTest, IdentityWrittenPageIsStillFlushedAndClean) {
+  Init(BackupPolicy::kGeneral);
+  SetFences(10, 20);
+  ASSERT_OK(WritePageOp(5, "logged+flushed"));
+  ASSERT_OK(cache_->FlushPage(P(5)));
+  EXPECT_FALSE(cache_->IsDirty(P(5)));
+  PageImage page;
+  ASSERT_OK(stable_->ReadPage(P(5), &page));
+  EXPECT_EQ(page.payload().ToString().substr(0, 6), "logged");
+  // The stable page carries the identity write's LSN.
+  EXPECT_EQ(page.lsn(), log_->durable_lsn());
+}
+
+TEST_F(CacheTest, TreePolicyCaseAnalysis) {
+  Init(BackupPolicy::kTree, /*tree_graph=*/true);
+  SetFences(/*done=*/10, /*pending=*/20);
+
+  // Case Pend(X): plain flush.
+  ASSERT_OK(WritePageOp(25, "pend"));
+  ASSERT_OK(cache_->FlushPage(P(25)));
+  // Case no successors, Done(X): plain flush.
+  ASSERT_OK(WritePageOp(5, "done-nosucc"));
+  ASSERT_OK(cache_->FlushPage(P(5)));
+  CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.identity_writes, 0u);
+  EXPECT_EQ(stats.tree_plain_pend_x, 1u);
+  EXPECT_EQ(stats.tree_plain_done_succ, 1u);
+
+  // Case Done(X) & !Done(S(X)): Iw/oF. Copy 25 -> 6 gives 6 the
+  // successor 25 (pending); 6 is in Done.
+  ASSERT_OK(CopyOp(25, 6));
+  ASSERT_OK(cache_->FlushPage(P(6)));
+  stats = cache_->stats();
+  EXPECT_EQ(stats.tree_iwof_done_x, 1u);
+  EXPECT_EQ(stats.identity_writes, 1u);
+
+  // Case Doubt(X) & Pend(S(X)): Iw/oF.
+  ASSERT_OK(CopyOp(25, 15));
+  ASSERT_OK(cache_->FlushPage(P(15)));
+  stats = cache_->stats();
+  EXPECT_EQ(stats.tree_iwof_pend_succ, 1u);
+
+  // Case Doubt & Doubt without violation (#succ < #X... dagger holds when
+  // successor position is below X): copy 11 -> 16 (succ 11 in doubt,
+  // X=16 in doubt, 16 > 11 so no violation): plain flush.
+  ASSERT_OK(WritePageOp(11, "doubt-src"));
+  ASSERT_OK(cache_->FlushPage(P(11)));
+  ASSERT_OK(CopyOp(11, 16));
+  ASSERT_OK(cache_->FlushPage(P(16)));
+  stats = cache_->stats();
+  EXPECT_EQ(stats.tree_plain_doubt_ok, 1u);
+
+  // Case Doubt & Doubt with violation (X=12 below its successor 17):
+  ASSERT_OK(WritePageOp(17, "doubt-src2"));
+  ASSERT_OK(cache_->FlushPage(P(17)));
+  ASSERT_OK(CopyOp(17, 12));
+  ASSERT_OK(cache_->FlushPage(P(12)));
+  stats = cache_->stats();
+  EXPECT_EQ(stats.tree_iwof_doubt_viol, 1u);
+}
+
+TEST_F(CacheTest, CheckpointWritesRecord) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "x"));
+  ASSERT_OK(cache_->Checkpoint());
+  int checkpoints = 0;
+  ASSERT_OK(log_->Scan(1, [&](const LogRecord& rec) {
+    if (rec.IsCheckpoint()) ++checkpoints;
+    return Status::OK();
+  }));
+  EXPECT_EQ(checkpoints, 1);
+}
+
+TEST_F(CacheTest, RedoStartReflectsOldestDirtyOp) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(1, "a"));  // lsn 1
+  ASSERT_OK(WritePageOp(2, "b"));  // lsn 2
+  EXPECT_EQ(cache_->RedoStartLsn(), 1u);
+  ASSERT_OK(cache_->FlushPage(P(1)));
+  EXPECT_EQ(cache_->RedoStartLsn(), 2u);
+}
+
+TEST_F(CacheTest, TrackerSeesFlushes) {
+  Init(BackupPolicy::kGeneral);
+  ASSERT_OK(WritePageOp(3, "tracked"));
+  ASSERT_OK(cache_->FlushPage(P(3)));
+  auto changed = tracker_.SnapshotAndClear();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], P(3));
+}
+
+TEST_F(CacheTest, MultiPageLogicalOpFlushesAtomicSet) {
+  Init(BackupPolicy::kGeneral);
+  // Transform writes pages 1..3 in one op: they form one node and must
+  // flush together.
+  ASSERT_OK(WritePageOp(1, "a"));
+  ASSERT_OK(WritePageOp(2, "b"));
+  ASSERT_OK(WritePageOp(3, "c"));
+  ASSERT_OK(cache_->FlushAll());
+  LogRecord rec = MakeFileTransform({P(1), P(2), P(3)}, 42);
+  ASSERT_OK(cache_->ExecuteOp(&rec));
+  ASSERT_OK(cache_->FlushPage(P(2)));
+  EXPECT_FALSE(cache_->IsDirty(P(1)));
+  EXPECT_FALSE(cache_->IsDirty(P(3)));
+}
+
+}  // namespace
+}  // namespace llb

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "Corruption: bad page");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<int> codes;
+  for (const Status& s :
+       {Status::InvalidArgument("x"), Status::NotFound("x"),
+        Status::IoError("x"), Status::Corruption("x"),
+        Status::NotSupported("x"), Status::FailedPrecondition("x"),
+        Status::Internal("x"), Status::AlreadyExists("x"),
+        Status::Unrecoverable("x")}) {
+    codes.insert(static_cast<int>(s.code()));
+  }
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> HalveOrFail(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int in, int* out) {
+  LLB_ASSIGN_OR_RETURN(*out, HalveOrFail(in));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_OK(UseAssignOrReturn(8, &out));
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(UseAssignOrReturn(7, &out).ok());
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  SliceReader reader{Slice(buf)};
+  uint16_t a = 0;
+  uint32_t b = 0;
+  uint64_t c = 0;
+  ASSERT_TRUE(reader.ReadFixed16(&a));
+  ASSERT_TRUE(reader.ReadFixed32(&b));
+  ASSERT_TRUE(reader.ReadFixed64(&c));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, UINT64_MAX};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  SliceReader reader{Slice(buf)};
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(reader.ReadVarint64(&got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  SliceReader reader{Slice(buf)};
+  Slice a, b;
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&a));
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&b));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CodingTest, PageIdRoundTrip) {
+  std::string buf;
+  PutPageId(&buf, PageId{3, 77});
+  SliceReader reader{Slice(buf)};
+  PageId id;
+  ASSERT_TRUE(reader.ReadPageId(&id));
+  EXPECT_EQ(id, (PageId{3, 77}));
+}
+
+TEST(CodingTest, TruncatedInputFailsCleanly) {
+  std::string buf;
+  PutFixed64(&buf, 12345);
+  buf.resize(4);
+  SliceReader reader{Slice(buf)};
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadFixed64(&v));
+}
+
+TEST(CodingTest, MalformedVarintFails) {
+  std::string buf(11, '\x80');  // never-terminating varint
+  SliceReader reader{Slice(buf)};
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadVarint64(&v));
+}
+
+TEST(Crc32cTest, KnownProperties) {
+  // Distinct inputs yield distinct CRCs; extension matches one-shot.
+  uint32_t a = crc32c::Value("hello", 5);
+  uint32_t b = crc32c::Value("hellp", 5);
+  EXPECT_NE(a, b);
+  uint32_t ext = crc32c::Extend(crc32c::Value("he", 2), "llo", 3);
+  EXPECT_EQ(ext, a);
+}
+
+TEST(Crc32cTest, StandardVector) {
+  // CRC-32C of "123456789" is 0xE3069283 (well-known check value).
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("data", 4);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RandomTest, ZipfSkewsLow) {
+  Random rng(5);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.9) < 100) ++low;
+  }
+  EXPECT_GT(low, 5000);  // heavily skewed to low ranks
+}
+
+TEST(SliceTest, BasicsAndEquality) {
+  std::string s = "abcdef";
+  Slice a(s);
+  EXPECT_EQ(a.size(), 6u);
+  a.RemovePrefix(2);
+  EXPECT_EQ(a.ToString(), "cdef");
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_FALSE(Slice("x") == Slice("y"));
+}
+
+TEST(TypesTest, PageIdOrderingMatchesBackupOrder) {
+  EXPECT_LT((PageId{0, 1}), (PageId{0, 2}));
+  EXPECT_LT((PageId{0, 9}), (PageId{1, 0}));
+  EXPECT_EQ(BackupPositionOf(PageId{3, 42}), 42u);
+}
+
+}  // namespace
+}  // namespace llb

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "io/mem_env.h"
+#include "recovery/media_recovery.h"
+#include "sim/harness.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+DbOptions SmallOptions() {
+  DbOptions options;
+  options.partitions = 2;
+  options.pages_per_partition = 128;
+  options.cache_pages = 32;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  return options;
+}
+
+TEST(DatabaseTest, OpenValidatesOptions) {
+  MemEnv env;
+  DbOptions bad = SmallOptions();
+  bad.partitions = 0;
+  EXPECT_FALSE(Database::Open(&env, "db", bad).ok());
+  bad = SmallOptions();
+  bad.pages_per_partition = 0;
+  EXPECT_FALSE(Database::Open(&env, "db", bad).ok());
+}
+
+TEST(DatabaseTest, NamingConventions) {
+  EXPECT_EQ(Database::StableName("x"), "x.stable");
+  EXPECT_EQ(Database::LogName("x"), "x.log");
+}
+
+TEST(DatabaseTest, RecoverOnFreshDatabaseIsNoOp) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(&env, "db", SmallOptions()));
+  ASSERT_OK(db->Recover());
+  EXPECT_EQ(db->log()->next_lsn(), 1u);
+}
+
+TEST(DatabaseTest, LsnsContinueAcrossReopen) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  ASSERT_OK(tree.Insert(1, Slice("x")));
+  ASSERT_OK(engine->db()->ForceLog());
+  Lsn before = engine->db()->log()->next_lsn();
+  ASSERT_OK(engine->Reopen());
+  EXPECT_EQ(engine->db()->log()->next_lsn(), before);
+}
+
+TEST(DatabaseTest, ExecuteRejectsUnregisteredOp) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(&env, "db", SmallOptions()));
+  LogRecord rec;
+  rec.op_code = 999;
+  rec.writeset = {PageId{0, 1}};
+  EXPECT_FALSE(db->Execute(&rec).ok());
+}
+
+TEST(DatabaseTest, BackupNamesAreIndependent) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(BackupManifest a, engine->db()->TakeBackup("a"));
+  ASSERT_OK(tree.Insert(5, Slice("later")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(BackupManifest b, engine->db()->TakeBackup("b"));
+  EXPECT_LT(a.start_lsn, b.start_lsn);
+  ASSERT_OK_AND_ASSIGN(BackupManifest a_loaded,
+                       BackupManifest::Load(engine->env(), "a"));
+  EXPECT_EQ(a_loaded.start_lsn, a.start_lsn);
+}
+
+TEST(DatabaseTest, BackupStepsOverrideOptions) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  ASSERT_OK_AND_ASSIGN(BackupManifest m,
+                       engine->db()->TakeBackup("bk", /*steps=*/3));
+  EXPECT_EQ(m.steps, 3u);
+}
+
+TEST(DatabaseTest, StatsAccumulateAndReset) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  for (int i = 0; i < 20; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  DbStats stats = engine->db()->GatherStats();
+  EXPECT_GT(stats.cache.ops_applied, 20u);
+  EXPECT_GT(stats.log.records, 20u);
+  engine->db()->ResetStats();
+  stats = engine->db()->GatherStats();
+  EXPECT_EQ(stats.cache.ops_applied, 0u);
+  EXPECT_EQ(stats.log.records, 0u);
+}
+
+TEST(DatabaseTest, CheckpointThenCrashRecoversFromCheckpoint) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  for (int i = 0; i < 40; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()->Checkpoint());
+  for (int i = 40; i < 60; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  ASSERT_OK(engine->db()->ForceLog());
+  ASSERT_OK(engine->CrashAndRecover());
+  BTree reopened(engine->db(), 0, 0, SplitLogging::kLogical);
+  for (int i = 0; i < 60; ++i) ASSERT_OK(reopened.Get(i).status());
+}
+
+TEST(DatabaseTest, IncrementalWithoutChangesCopiesNothing) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()->TakeBackup("base").status());
+  ASSERT_OK_AND_ASSIGN(BackupManifest inc,
+                       engine->db()->TakeIncrementalBackup("inc", "base"));
+  EXPECT_TRUE(inc.pages.empty());
+}
+
+TEST(DatabaseTest, LogTruncationPreservesCrashRecoverability) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  for (int i = 0; i < 50; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  ASSERT_OK(engine->db()->FlushAll());
+  uint64_t bytes_before = 0;
+  {
+    auto file = engine->env()->OpenFile(Database::LogName("db"), false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_OK_AND_ASSIGN(bytes_before, (*file)->Size());
+  }
+  // Everything installed; no backups kept: the whole prefix can go.
+  ASSERT_OK(engine->db()->TruncateLog(kInvalidLsn));
+  {
+    auto file = engine->env()->OpenFile(Database::LogName("db"), false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_OK_AND_ASSIGN(uint64_t bytes_after, (*file)->Size());
+    EXPECT_LT(bytes_after, bytes_before / 4);
+  }
+  // Activity + crash after truncation must still recover.
+  for (int i = 50; i < 80; ++i) ASSERT_OK(tree.Insert(i, Slice("w")));
+  ASSERT_OK(engine->db()->ForceLog());
+  ASSERT_OK(engine->CrashAndRecover());
+  BTree reopened(engine->db(), 0, 0, SplitLogging::kLogical);
+  for (int i = 0; i < 80; ++i) ASSERT_OK(reopened.Get(i).status());
+  ASSERT_OK(reopened.CheckInvariants().status());
+}
+
+TEST(DatabaseTest, LogTruncationKeepsBackupRestorable) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  for (int i = 0; i < 60; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(BackupManifest manifest,
+                       engine->db()->TakeBackup("bk"));
+  for (int i = 60; i < 90; ++i) ASSERT_OK(tree.Insert(i, Slice("w")));
+  ASSERT_OK(engine->db()->FlushAll());
+  // Keep the log back to the backup's start point.
+  ASSERT_OK(engine->db()->TruncateLog(manifest.start_lsn));
+
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 2));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK(RestoreFromBackup(engine->env(), Database::StableName("db"),
+                              Database::LogName("db"), "bk", registry)
+                .status());
+  ASSERT_OK(engine->Reopen());
+  BTree recovered(engine->db(), 0, 0, SplitLogging::kLogical);
+  for (int i = 0; i < 90; ++i) ASSERT_OK(recovered.Get(i).status());
+}
+
+TEST(DatabaseTest, ConcurrentBackupAndCheckpoint) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(SmallOptions()));
+  BTree tree(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(tree.Create());
+  for (int i = 0; i < 30; ++i) ASSERT_OK(tree.Insert(i, Slice("v")));
+  BackupJobOptions job;
+  job.steps = 4;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    LLB_RETURN_IF_ERROR(engine->db()->Checkpoint());
+    return engine->db()->FlushAll();
+  };
+  ASSERT_OK(engine->db()->TakeBackupWithOptions("bk", job).status());
+  ASSERT_OK(engine->CrashAndRecover());
+  BTree reopened(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK(reopened.CheckInvariants().status());
+}
+
+}  // namespace
+}  // namespace llb

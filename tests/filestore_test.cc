@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "filestore/filestore.h"
+#include "sim/harness.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+DbOptions GeneralDbOptions() {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = 1024;
+  options.cache_pages = 64;
+  options.graph = WriteGraphKind::kGeneral;
+  options.backup_policy = BackupPolicy::kGeneral;
+  return options;
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = TestEngine::Create(GeneralDbOptions());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(engine).value();
+    files_ = std::make_unique<FileStore>(engine_->db(), 0, /*base_page=*/0,
+                                         /*pages_per_file=*/3,
+                                         /*num_files=*/16);
+  }
+
+  std::vector<int64_t> Sequence(int64_t start, size_t n) {
+    std::vector<int64_t> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = start + static_cast<int64_t>(i);
+    return v;
+  }
+
+  std::unique_ptr<TestEngine> engine_;
+  std::unique_ptr<FileStore> files_;
+};
+
+TEST_F(FileStoreTest, WriteReadRoundTrip) {
+  std::vector<int64_t> values = Sequence(100, 1200);  // spans 3 pages
+  ASSERT_OK(files_->WriteValues(0, values));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> got, files_->ReadValues(0));
+  EXPECT_EQ(got, values);
+}
+
+TEST_F(FileStoreTest, EmptyFileReadsEmpty) {
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> got, files_->ReadValues(5));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(FileStoreTest, OversizeWriteRejected) {
+  std::vector<int64_t> too_big(files_->capacity_per_file() + 1, 1);
+  EXPECT_FALSE(files_->WriteValues(0, too_big).ok());
+}
+
+TEST_F(FileStoreTest, CopyDuplicatesContents) {
+  std::vector<int64_t> values = Sequence(7, 900);
+  ASSERT_OK(files_->WriteValues(1, values));
+  ASSERT_OK(files_->Copy(1, 2));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> got, files_->ReadValues(2));
+  EXPECT_EQ(got, values);
+}
+
+TEST_F(FileStoreTest, CopyToSelfRejected) {
+  EXPECT_FALSE(files_->Copy(3, 3).ok());
+}
+
+TEST_F(FileStoreTest, SortProducesSortedOutput) {
+  std::vector<int64_t> values{9, -3, 42, 0, 42, 7, -100};
+  ASSERT_OK(files_->WriteValues(0, values));
+  ASSERT_OK(files_->SortInto(0, 1));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> got, files_->ReadValues(1));
+  std::vector<int64_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+  // Source unchanged.
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> src, files_->ReadValues(0));
+  EXPECT_EQ(src, values);
+}
+
+TEST_F(FileStoreTest, TransformIsDeterministic) {
+  ASSERT_OK(files_->WriteValues(0, Sequence(1, 10)));
+  ASSERT_OK(files_->WriteValues(1, Sequence(1, 10)));
+  ASSERT_OK(files_->Transform(0, 99));
+  ASSERT_OK(files_->Transform(1, 99));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> a, files_->ReadValues(0));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> b, files_->ReadValues(1));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Sequence(1, 10));
+}
+
+TEST_F(FileStoreTest, CopyChainSurvivesCrash) {
+  ASSERT_OK(files_->WriteValues(0, Sequence(500, 1000)));
+  ASSERT_OK(files_->Copy(0, 1));
+  ASSERT_OK(files_->Copy(1, 2));
+  ASSERT_OK(files_->WriteValues(0, Sequence(0, 10)));  // overwrite source
+  ASSERT_OK(engine_->db()->FlushAll());
+  ASSERT_OK(engine_->CrashAndRecover());
+
+  FileStore reopened(engine_->db(), 0, 0, 3, 16);
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> f2, reopened.ReadValues(2));
+  EXPECT_EQ(f2, Sequence(500, 1000));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> f0, reopened.ReadValues(0));
+  EXPECT_EQ(f0, Sequence(0, 10));
+}
+
+TEST_F(FileStoreTest, UnflushedOpsRecoverFromLogAfterCrash) {
+  ASSERT_OK(files_->WriteValues(0, Sequence(1, 100)));
+  ASSERT_OK(files_->Copy(0, 1));
+  // Force the log but flush nothing: after the crash, redo must rebuild
+  // both files from the log alone.
+  ASSERT_OK(engine_->db()->ForceLog());
+  ASSERT_OK(engine_->CrashAndRecover());
+  FileStore reopened(engine_->db(), 0, 0, 3, 16);
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> f1, reopened.ReadValues(1));
+  EXPECT_EQ(f1, Sequence(1, 100));
+}
+
+TEST_F(FileStoreTest, BadFileIdsRejected) {
+  EXPECT_FALSE(files_->WriteValues(99, {1}).ok());
+  EXPECT_FALSE(files_->ReadValues(99).ok());
+  EXPECT_FALSE(files_->Copy(0, 99).ok());
+  EXPECT_FALSE(files_->Transform(99, 1).ok());
+}
+
+}  // namespace
+}  // namespace llb

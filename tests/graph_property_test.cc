@@ -1,0 +1,177 @@
+// Randomized property tests over the write graphs: feed long random
+// operation/install/identity-write sequences and check the structural
+// invariants the recovery argument rests on (paper section 2).
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "recovery/general_write_graph.h"
+#include "recovery/tree_write_graph.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+PageId P(uint32_t page) { return PageId{0, page}; }
+
+LogRecord Op(Lsn lsn, std::vector<PageId> reads, std::vector<PageId> writes) {
+  LogRecord rec;
+  rec.lsn = lsn;
+  rec.op_code = kOpFileCopy;
+  rec.readset = std::move(reads);
+  rec.writeset = std::move(writes);
+  return rec;
+}
+
+class GeneralGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralGraphPropertyTest, RandomSequencesKeepInvariants) {
+  Random rng(GetParam());
+  GeneralWriteGraph graph;
+  Lsn lsn = 1;
+  std::unordered_set<PageId, PageIdHash> maybe_tracked;
+
+  for (int step = 0; step < 600; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Random op: 0-2 reads, 1-2 writes over 64 pages.
+      std::vector<PageId> reads, writes;
+      int nreads = static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < nreads; ++i) {
+        reads.push_back(P(static_cast<uint32_t>(rng.Uniform(64))));
+      }
+      writes.push_back(P(static_cast<uint32_t>(rng.Uniform(64))));
+      if (rng.Bernoulli(0.4)) {
+        PageId extra = P(static_cast<uint32_t>(rng.Uniform(64)));
+        if (extra != writes[0]) writes.push_back(extra);
+      }
+      graph.OnOperation(Op(lsn++, reads, writes));
+      for (const PageId& w : writes) maybe_tracked.insert(w);
+    } else if (dice < 0.75 && !maybe_tracked.empty()) {
+      // Install-without-flush, the way the cache manager sequences it:
+      // plan the node, then per unit identity-write every var before
+      // retiring the unit (identity writes are only legal inside the
+      // install flow — predecessors must already be installed).
+      for (const PageId& x : maybe_tracked) {
+        if (!graph.IsTracked(x)) continue;
+        std::vector<InstallUnit> plan;
+        ASSERT_OK(graph.PlanInstall(x, &plan));
+        for (const InstallUnit& unit : plan) {
+          for (const PageId& v : unit.vars) graph.OnIdentityWrite(v, lsn++);
+          graph.MarkInstalled(unit.node_id);
+        }
+        ASSERT_FALSE(graph.IsTracked(x));
+        break;
+      }
+    } else if (!maybe_tracked.empty()) {
+      // Install a random page's node via its plan.
+      for (const PageId& x : maybe_tracked) {
+        if (!graph.IsTracked(x)) continue;
+        std::vector<InstallUnit> plan;
+        ASSERT_OK(graph.PlanInstall(x, &plan));
+        // INVARIANT: the plan is a valid topological order — when a unit
+        // is installed, no live predecessor remains.
+        for (const InstallUnit& unit : plan) {
+          graph.MarkInstalled(unit.node_id);
+        }
+        ASSERT_FALSE(graph.IsTracked(x));
+        break;
+      }
+    }
+
+    // INVARIANT: every tracked page's plan terminates (acyclic) and ends
+    // with its own node containing it.
+    if (step % 97 == 0) {
+      for (const PageId& x : maybe_tracked) {
+        if (!graph.IsTracked(x)) continue;
+        std::vector<InstallUnit> plan;
+        ASSERT_OK(graph.PlanInstall(x, &plan));
+        ASSERT_FALSE(plan.empty());
+        bool found = false;
+        for (const PageId& v : plan.back().vars) found |= (v == x);
+        ASSERT_TRUE(found) << "plan tail does not own " << x.ToString();
+        // No node appears twice.
+        std::unordered_set<uint64_t> ids;
+        for (const InstallUnit& unit : plan) {
+          ASSERT_TRUE(ids.insert(unit.node_id).second);
+        }
+      }
+    }
+  }
+
+  // Drain: everything installable; graph empties; redo start returns to
+  // next_lsn.
+  for (const PageId& x : maybe_tracked) {
+    if (!graph.IsTracked(x)) continue;
+    std::vector<InstallUnit> plan;
+    ASSERT_OK(graph.PlanInstall(x, &plan));
+    for (const InstallUnit& unit : plan) graph.MarkInstalled(unit.node_id);
+  }
+  EXPECT_EQ(graph.NumNodes(), 0u);
+  EXPECT_EQ(graph.RedoStartLsn(lsn), lsn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class TreeGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeGraphPropertyTest, RandomSplitForestsKeepInvariants) {
+  Random rng(GetParam());
+  TreeWriteGraph graph;
+  Lsn lsn = 1;
+  std::vector<uint32_t> written;  // update targets
+  uint32_t next_fresh = 1000;    // never-written ids
+  written.push_back(0);
+  graph.OnOperation(Op(lsn++, {P(0)}, {P(0)}));
+
+  for (int step = 0; step < 500; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      // Write-new from a random existing page (split-like).
+      uint32_t old_page = written[rng.Uniform(written.size())];
+      uint32_t new_page = next_fresh++;
+      graph.OnOperation(Op(lsn++, {P(old_page)}, {P(new_page)}));
+      written.push_back(new_page);
+    } else if (dice < 0.7) {
+      // Page-oriented update of a random page.
+      uint32_t page = written[rng.Uniform(written.size())];
+      graph.OnOperation(Op(lsn++, {P(page)}, {P(page)}));
+    } else {
+      // Install a random tracked page (plan + mark) — must terminate
+      // without cycles (forest property).
+      uint32_t page = written[rng.Uniform(written.size())];
+      if (!graph.IsTracked(P(page))) continue;
+      std::vector<InstallUnit> plan;
+      ASSERT_OK(graph.PlanInstall(P(page), &plan));
+      ASSERT_FALSE(plan.empty());
+      // INVARIANT: singleton vars; target last.
+      for (const InstallUnit& unit : plan) {
+        ASSERT_LE(unit.vars.size(), 1u);
+      }
+      ASSERT_EQ(plan.back().vars, std::vector<PageId>{P(page)});
+      for (const InstallUnit& unit : plan) graph.MarkInstalled(unit.node_id);
+      ASSERT_FALSE(graph.IsTracked(P(page)));
+    }
+  }
+
+  // Every remaining page installable; the graph drains.
+  for (uint32_t page : written) {
+    if (!graph.IsTracked(P(page))) continue;
+    std::vector<InstallUnit> plan;
+    ASSERT_OK(graph.PlanInstall(P(page), &plan));
+    for (const InstallUnit& unit : plan) graph.MarkInstalled(unit.node_id);
+  }
+  EXPECT_EQ(graph.RedoStartLsn(lsn), lsn);
+  WriteGraphStats stats = graph.GetStats();
+  EXPECT_EQ(stats.nodes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeGraphPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace llb

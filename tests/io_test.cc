@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+TEST(MemEnvTest, CreateWriteReadBack) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f,
+                       env.OpenFile("a", /*create=*/true));
+  ASSERT_OK(f->Append(Slice("hello ")));
+  ASSERT_OK(f->Append(Slice("world")));
+  std::string out;
+  ASSERT_OK(f->ReadAt(0, 100, &out));
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(MemEnvTest, OpenMissingFileFails) {
+  MemEnv env;
+  auto r = env.OpenFile("missing", /*create=*/false);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(MemEnvTest, WriteAtExtendsWithZeros) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  ASSERT_OK(f->WriteAt(4, Slice("xy")));
+  std::string out;
+  ASSERT_OK(f->ReadAt(0, 10, &out));
+  EXPECT_EQ(out, std::string("\0\0\0\0xy", 6));
+}
+
+TEST(MemEnvTest, DeleteAndList) {
+  MemEnv env;
+  ASSERT_OK(env.OpenFile("a", true).status());
+  ASSERT_OK(env.OpenFile("b", true).status());
+  EXPECT_EQ(env.ListFiles().size(), 2u);
+  ASSERT_OK(env.DeleteFile("a"));
+  EXPECT_FALSE(env.FileExists("a"));
+  EXPECT_TRUE(env.FileExists("b"));
+}
+
+TEST(MemEnvTest, CrashDiscardsUnsyncedData) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  ASSERT_OK(f->Append(Slice("durable")));
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Append(Slice(" volatile")));
+  env.CrashAndRestart();
+  std::string out;
+  ASSERT_OK(f->ReadAt(0, 100, &out));
+  EXPECT_EQ(out, "durable");
+}
+
+TEST(MemEnvTest, CrashWithNoSyncLosesEverything) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  ASSERT_OK(f->Append(Slice("gone")));
+  env.CrashAndRestart();
+  ASSERT_OK_AND_ASSIGN(uint64_t size, f->Size());
+  EXPECT_EQ(size, 0u);
+}
+
+TEST(MemEnvTest, TruncateShrinksAndExtends) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  ASSERT_OK(f->Append(Slice("abcdef")));
+  ASSERT_OK(f->Truncate(3));
+  std::string out;
+  ASSERT_OK(f->ReadAt(0, 10, &out));
+  EXPECT_EQ(out, "abc");
+}
+
+TEST(MemEnvTest, DurableEventCounting) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  EXPECT_EQ(env.durable_events(), 0u);
+  ASSERT_OK(f->Append(Slice("x")));
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Sync());
+  EXPECT_EQ(env.durable_events(), 2u);
+}
+
+TEST(FaultInjectionTest, CountdownFailsAfterBudget) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  CountdownFaultInjector injector(2);
+  env.SetFaultInjector(&injector);
+  ASSERT_OK(f->Append(Slice("1")));
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Append(Slice("2")));
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Append(Slice("3")));
+  EXPECT_FALSE(f->Sync().ok());  // third durable event vetoed
+  EXPECT_TRUE(env.io_blocked());
+  // All IO now fails until restart.
+  EXPECT_FALSE(f->Append(Slice("4")).ok());
+  std::string out;
+  EXPECT_FALSE(f->ReadAt(0, 1, &out).ok());
+}
+
+TEST(FaultInjectionTest, CrashClearsFaultAndRevertsToDurable) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  ASSERT_OK(f->Append(Slice("keep")));
+  ASSERT_OK(f->Sync());
+  CountdownFaultInjector injector(0);
+  env.SetFaultInjector(&injector);
+  ASSERT_OK(f->Append(Slice("lost")));
+  EXPECT_FALSE(f->Sync().ok());
+  env.CrashAndRestart();
+  std::string out;
+  ASSERT_OK(f->ReadAt(0, 100, &out));
+  EXPECT_EQ(out, "keep");
+  ASSERT_OK(f->Sync());  // injector cleared
+}
+
+TEST(FaultInjectionTest, RecordingInjectorCounts) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  RecordingInjector recorder;
+  env.SetFaultInjector(&recorder);
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Sync());
+  EXPECT_EQ(recorder.count(), 3u);
+}
+
+TEST(FaultInjectionTest, CrashAtEventInjectorFailsExactlyNth) {
+  MemEnv env;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> f, env.OpenFile("a", true));
+  CrashAtEventInjector injector(3);
+  env.SetFaultInjector(&injector);
+  ASSERT_OK(f->Sync());
+  ASSERT_OK(f->Sync());
+  EXPECT_FALSE(f->Sync().ok());
+}
+
+}  // namespace
+}  // namespace llb

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "btree/btree_node.h"
+#include "btree/btree_ops.h"
+#include "filestore/filestore.h"
+#include "ops/operation.h"
+#include "recovery/media_recovery.h"
+#include "sim/harness.h"
+#include "tests/test_util.h"
+
+namespace llb {
+namespace {
+
+DbOptions MediaDb(WriteGraphKind graph, BackupPolicy policy,
+                  uint32_t pages = 512) {
+  DbOptions options;
+  options.partitions = 1;
+  options.pages_per_partition = pages;
+  options.cache_pages = 48;
+  options.graph = graph;
+  options.backup_policy = policy;
+  options.backup_steps = 4;
+  return options;
+}
+
+/// Media-recovery oracle check: after restore-from-backup plus roll
+/// forward, the stable database must equal full-log replay from scratch.
+Status VerifyRestored(MemEnv* env, const std::string& db_name,
+                      const DbOptions& options, const std::string& tag) {
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  LLB_ASSIGN_OR_RETURN(std::unique_ptr<LogManager> log,
+                       LogManager::Open(env, Database::LogName(db_name)));
+  std::unique_ptr<PageStore> oracle;
+  LLB_RETURN_IF_ERROR(testutil::BuildOracle(env, *log, registry,
+                                            "oracle_" + tag,
+                                            options.partitions, &oracle));
+  LLB_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageStore> stable,
+      PageStore::Open(env, Database::StableName(db_name), options.partitions));
+  std::string diff = testutil::DiffStores(*stable, *oracle,
+                                          options.partitions,
+                                          options.pages_per_partition);
+  if (!diff.empty()) {
+    return Status::Internal("restored state differs from oracle at page " +
+                            diff);
+  }
+  return Status::OK();
+}
+
+TEST(MediaRecoveryTest, BtreeTreeOpsBackupConcurrentWithInserts) {
+  DbOptions options = MediaDb(WriteGraphKind::kTree, BackupPolicy::kTree);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  auto tree = std::make_unique<BTree>(engine->db(), 0, 0,
+                                      SplitLogging::kLogical);
+  ASSERT_OK(tree->Create());
+  int64_t next_key = 0;
+  for (; next_key < 300; ++next_key) {
+    ASSERT_OK(tree->Insert((next_key * 53) % 5003, Slice("pre")));
+  }
+  ASSERT_OK(engine->db()->FlushAll());
+
+  // On-line backup with inserts and flushes racing each step.
+  BackupJobOptions job;
+  job.steps = 4;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (int i = 0; i < 60; ++i, ++next_key) {
+      LLB_RETURN_IF_ERROR(
+          tree->Insert((next_key * 53) % 5003, Slice("mid")));
+    }
+    return engine->db()->FlushAll();
+  };
+  ASSERT_OK_AND_ASSIGN(BackupManifest manifest,
+                       engine->db()->TakeBackupWithOptions("bk", job));
+  EXPECT_TRUE(manifest.complete);
+  // The backup protocol logged identity writes for unsafe flushes.
+  EXPECT_GT(engine->db()->GatherStats().cache.decisions, 0u);
+
+  // Post-backup activity that media recovery must roll forward over.
+  for (int i = 0; i < 80; ++i, ++next_key) {
+    ASSERT_OK(tree->Insert((next_key * 53) % 5003, Slice("post")));
+  }
+  ASSERT_OK(engine->db()->ForceLog());
+  uint64_t expected_records = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(BtreeCheckReport report, tree->CheckInvariants());
+    expected_records = report.records;
+  }
+
+  // MEDIA FAILURE: destroy the whole stable database.
+  tree.reset();
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK_AND_ASSIGN(
+      MediaRecoveryReport report,
+      RestoreFromBackup(engine->env(), Database::StableName("db"),
+                        Database::LogName("db"), "bk", registry));
+  EXPECT_GT(report.pages_restored, 0u);
+  ASSERT_OK(VerifyRestored(engine->env(), "db", options, "btree"));
+
+  // The restored database is fully usable.
+  ASSERT_OK(engine->Reopen());
+  BTree recovered(engine->db(), 0, 0, SplitLogging::kLogical);
+  ASSERT_OK_AND_ASSIGN(BtreeCheckReport check, recovered.CheckInvariants());
+  EXPECT_EQ(check.records, expected_records);
+}
+
+TEST(MediaRecoveryTest, GeneralOpsBackupConcurrentWithCopies) {
+  DbOptions options = MediaDb(WriteGraphKind::kGeneral,
+                              BackupPolicy::kGeneral);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  auto files = std::make_unique<FileStore>(engine->db(), 0, 0, 2, 32);
+  ASSERT_OK(files->WriteValues(0, {9, 1, 8, 2, 7, 3}));
+  ASSERT_OK(engine->db()->FlushAll());
+
+  int round = 0;
+  BackupJobOptions job;
+  job.steps = 4;
+  job.mid_step = [&](PartitionId, uint32_t) -> Status {
+    for (int i = 0; i < 8; ++i, ++round) {
+      LLB_RETURN_IF_ERROR(files->Copy(round % 4, 4 + (round % 6)));
+      LLB_RETURN_IF_ERROR(files->Transform(round % 4, round));
+    }
+    return engine->db()->FlushAll();
+  };
+  ASSERT_OK(engine->db()->TakeBackupWithOptions("bk", job).status());
+
+  for (int i = 0; i < 10; ++i, ++round) {
+    ASSERT_OK(files->SortInto(4 + (round % 6), 20));
+  }
+  ASSERT_OK(engine->db()->ForceLog());
+
+  files.reset();
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK(RestoreFromBackup(engine->env(), Database::StableName("db"),
+                              Database::LogName("db"), "bk", registry)
+                .status());
+  ASSERT_OK(VerifyRestored(engine->env(), "db", options, "general"));
+}
+
+// The paper's Figure 1: with logical operations and a NAIVE fuzzy dump
+// (no Iw/oF), a split whose new page was already swept while the old
+// page's truncation reaches the backup leaves the moved records nowhere.
+// The backup is unrecoverable. The same schedule under the paper's
+// protocol restores correctly.
+class Figure1Schedule {
+ public:
+  static constexpr uint32_t kOldPage = 60;  // high position: swept late
+  static constexpr uint32_t kNewPage = 5;   // low position: swept early
+
+  static Status Run(TestEngine* engine, const std::string& backup_name) {
+    Database* db = engine->db();
+    // A full leaf at kOldPage, flushed to S before backup.
+    PageImage leaf;
+    btree_node::InitLeaf(&leaf, 0);
+    for (int64_t k = 1; k <= 10; ++k) {
+      btree_node::LeafInsert(&leaf, k, Slice("rec"));
+    }
+    LogRecord init = MakePhysicalWrite(PageId{0, kOldPage}, leaf);
+    LLB_RETURN_IF_ERROR(db->Execute(&init));
+    LLB_RETURN_IF_ERROR(db->FlushAll());
+
+    // Backup in 2 steps over 100 pages: step 1 copies [0, 50) (captures
+    // the stale kNewPage), step 2 copies [50, 100). The split happens in
+    // step 2's doubt window: MovRec(old -> new), RmvRec(old), then both
+    // pages are flushed to S. kNewPage is Done (it will NOT reach B);
+    // kOldPage is in Doubt and its truncated image WILL reach B.
+    BackupJobOptions job;
+    job.steps = 2;
+    job.mid_step = [db](PartitionId, uint32_t step) -> Status {
+      if (step != 2) return Status::OK();
+      LogRecord mov =
+          MakeBtreeMovRec(PageId{0, kOldPage}, PageId{0, kNewPage}, 5);
+      LLB_RETURN_IF_ERROR(db->Execute(&mov));
+      LogRecord rmv = MakeBtreeRmvRec(PageId{0, kOldPage}, 5, kNewPage);
+      LLB_RETURN_IF_ERROR(db->Execute(&rmv));
+      // Flush order respected for S: new before old.
+      LLB_RETURN_IF_ERROR(db->FlushPage(PageId{0, kNewPage}));
+      return db->FlushPage(PageId{0, kOldPage});
+    };
+    return db->TakeBackupWithOptions(backup_name, job).status();
+  }
+};
+
+TEST(MediaRecoveryTest, Figure1NaiveFuzzyDumpIsUnrecoverable) {
+  DbOptions options = MediaDb(WriteGraphKind::kTree, BackupPolicy::kNaive,
+                              /*pages=*/100);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  ASSERT_OK(Figure1Schedule::Run(engine.get(), "naive_bk"));
+  EXPECT_EQ(engine->db()->GatherStats().cache.identity_writes, 0u);
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK(RestoreFromBackup(engine->env(), Database::StableName("db"),
+                              Database::LogName("db"), "naive_bk", registry)
+                .status());
+  // The restored state is WRONG: the records moved to kNewPage are gone.
+  Status verify = VerifyRestored(engine->env(), "db", options, "naive");
+  EXPECT_FALSE(verify.ok()) << "naive fuzzy dump should NOT be recoverable";
+
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<PageStore> stable,
+      PageStore::Open(engine->env(), Database::StableName("db"), 1));
+  PageImage new_page;
+  ASSERT_OK(stable->ReadPage(PageId{0, Figure1Schedule::kNewPage},
+                             &new_page));
+  // Replay of MovRec read the truncated old page: the moved records
+  // (keys 6..10) were regenerated from nothing.
+  EXPECT_EQ(btree_node::Count(new_page), 0u);
+}
+
+TEST(MediaRecoveryTest, Figure1TreePolicyRecovers) {
+  DbOptions options = MediaDb(WriteGraphKind::kTree, BackupPolicy::kTree,
+                              /*pages=*/100);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  ASSERT_OK(Figure1Schedule::Run(engine.get(), "safe_bk"));
+  // The protocol detected the hazard and logged the new page (Iw/oF).
+  EXPECT_GT(engine->db()->GatherStats().cache.identity_writes, 0u);
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK(RestoreFromBackup(engine->env(), Database::StableName("db"),
+                              Database::LogName("db"), "safe_bk", registry)
+                .status());
+  ASSERT_OK(VerifyRestored(engine->env(), "db", options, "safe"));
+
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<PageStore> stable,
+      PageStore::Open(engine->env(), Database::StableName("db"), 1));
+  PageImage new_page;
+  ASSERT_OK(stable->ReadPage(PageId{0, Figure1Schedule::kNewPage},
+                             &new_page));
+  EXPECT_EQ(btree_node::Count(new_page), 5u);  // keys 6..10 present
+}
+
+TEST(MediaRecoveryTest, IncrementalChainRestores) {
+  DbOptions options = MediaDb(WriteGraphKind::kTree, BackupPolicy::kTree);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  auto tree = std::make_unique<BTree>(engine->db(), 0, 0,
+                                      SplitLogging::kLogical);
+  ASSERT_OK(tree->Create());
+  for (int64_t k = 0; k < 200; ++k) ASSERT_OK(tree->Insert(k, Slice("a")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()->TakeBackup("full").status());
+
+  for (int64_t k = 200; k < 260; ++k) ASSERT_OK(tree->Insert(k, Slice("b")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(
+      BackupManifest inc1,
+      engine->db()->TakeIncrementalBackup("inc1", "full"));
+  EXPECT_TRUE(inc1.incremental);
+  EXPECT_GT(inc1.pages.size(), 0u);
+  EXPECT_LT(inc1.pages.size(),
+            uint64_t{options.pages_per_partition});  // only deltas
+
+  for (int64_t k = 260; k < 300; ++k) ASSERT_OK(tree->Insert(k, Slice("c")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()
+                ->TakeIncrementalBackup("inc2", "inc1")
+                .status());
+
+  for (int64_t k = 300; k < 330; ++k) ASSERT_OK(tree->Insert(k, Slice("d")));
+  ASSERT_OK(engine->db()->ForceLog());
+
+  tree.reset();
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  ASSERT_OK_AND_ASSIGN(
+      MediaRecoveryReport report,
+      RestoreFromBackup(engine->env(), Database::StableName("db"),
+                        Database::LogName("db"), "inc2", registry));
+  EXPECT_EQ(report.backups_applied, 3u);
+  ASSERT_OK(VerifyRestored(engine->env(), "db", options, "inc"));
+
+  ASSERT_OK(engine->Reopen());
+  BTree recovered(engine->db(), 0, 0, SplitLogging::kLogical);
+  for (int64_t k = 0; k < 330; ++k) {
+    Result<std::string> value = recovered.Get(k);
+    ASSERT_TRUE(value.ok()) << "key " << k << ": "
+                            << value.status().ToString();
+  }
+}
+
+TEST(MediaRecoveryTest, OlderBackupStillRestoresAfterMoreActivity) {
+  DbOptions options = MediaDb(WriteGraphKind::kTree, BackupPolicy::kTree);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TestEngine> engine,
+                       TestEngine::Create(options));
+  auto tree = std::make_unique<BTree>(engine->db(), 0, 0,
+                                      SplitLogging::kLogical);
+  ASSERT_OK(tree->Create());
+  for (int64_t k = 0; k < 100; ++k) ASSERT_OK(tree->Insert(k, Slice("x")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()->TakeBackup("old_bk").status());
+  // A lot more activity, including another backup.
+  for (int64_t k = 100; k < 400; ++k) ASSERT_OK(tree->Insert(k, Slice("y")));
+  ASSERT_OK(engine->db()->FlushAll());
+  ASSERT_OK(engine->db()->TakeBackup("new_bk").status());
+  for (int64_t k = 400; k < 450; ++k) ASSERT_OK(tree->Insert(k, Slice("z")));
+  ASSERT_OK(engine->db()->ForceLog());
+
+  tree.reset();
+  ASSERT_OK(engine->Shutdown());
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PageStore> stable,
+        PageStore::Open(engine->env(), Database::StableName("db"), 1));
+    ASSERT_OK(stable->WipePartition(0));
+  }
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  // Restoring from the OLDER backup must also reach the current state
+  // (the log since its start point is all still there).
+  ASSERT_OK(RestoreFromBackup(engine->env(), Database::StableName("db"),
+                              Database::LogName("db"), "old_bk", registry)
+                .status());
+  ASSERT_OK(VerifyRestored(engine->env(), "db", options, "older"));
+}
+
+TEST(MediaRecoveryTest, RestoreIncompleteBackupRefused) {
+  MemEnv env;
+  BackupManifest m;
+  m.name = "partial";
+  m.partitions = 1;
+  m.pages_per_partition = 4;
+  m.complete = false;
+  ASSERT_OK(m.Save(&env));
+  OpRegistry registry;
+  Status s = RestoreFromBackup(&env, "s", "log", "partial", registry).status();
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace llb
