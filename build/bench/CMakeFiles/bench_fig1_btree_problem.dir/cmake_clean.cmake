@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_btree_problem.dir/bench_fig1_btree_problem.cc.o"
+  "CMakeFiles/bench_fig1_btree_problem.dir/bench_fig1_btree_problem.cc.o.d"
+  "bench_fig1_btree_problem"
+  "bench_fig1_btree_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_btree_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

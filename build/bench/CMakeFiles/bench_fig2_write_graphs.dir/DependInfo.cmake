@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_write_graphs.cc" "bench/CMakeFiles/bench_fig2_write_graphs.dir/bench_fig2_write_graphs.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_write_graphs.dir/bench_fig2_write_graphs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_filestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_apprec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_write_graphs.dir/bench_fig2_write_graphs.cc.o"
+  "CMakeFiles/bench_fig2_write_graphs.dir/bench_fig2_write_graphs.cc.o.d"
+  "bench_fig2_write_graphs"
+  "bench_fig2_write_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_write_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_progress.dir/bench_fig3_progress.cc.o"
+  "CMakeFiles/bench_fig3_progress.dir/bench_fig3_progress.cc.o.d"
+  "bench_fig3_progress"
+  "bench_fig3_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

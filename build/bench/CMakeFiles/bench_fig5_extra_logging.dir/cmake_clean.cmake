@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_extra_logging.dir/bench_fig5_extra_logging.cc.o"
+  "CMakeFiles/bench_fig5_extra_logging.dir/bench_fig5_extra_logging.cc.o.d"
+  "bench_fig5_extra_logging"
+  "bench_fig5_extra_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_extra_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_logging_economy.dir/bench_table1_logging_economy.cc.o"
+  "CMakeFiles/bench_table1_logging_economy.dir/bench_table1_logging_economy.cc.o.d"
+  "bench_table1_logging_economy"
+  "bench_table1_logging_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_logging_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

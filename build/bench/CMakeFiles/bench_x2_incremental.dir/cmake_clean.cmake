@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_incremental.dir/bench_x2_incremental.cc.o"
+  "CMakeFiles/bench_x2_incremental.dir/bench_x2_incremental.cc.o.d"
+  "bench_x2_incremental"
+  "bench_x2_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_app_read.dir/bench_x3_app_read.cc.o"
+  "CMakeFiles/bench_x3_app_read.dir/bench_x3_app_read.cc.o.d"
+  "bench_x3_app_read"
+  "bench_x3_app_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_app_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_backup_throughput.dir/bench_x4_backup_throughput.cc.o"
+  "CMakeFiles/bench_x4_backup_throughput.dir/bench_x4_backup_throughput.cc.o.d"
+  "bench_x4_backup_throughput"
+  "bench_x4_backup_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_backup_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_ablation_steps.dir/bench_x5_ablation_steps.cc.o"
+  "CMakeFiles/bench_x5_ablation_steps.dir/bench_x5_ablation_steps.cc.o.d"
+  "bench_x5_ablation_steps"
+  "bench_x5_ablation_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_ablation_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

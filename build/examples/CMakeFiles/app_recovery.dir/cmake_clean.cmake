@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_recovery.dir/app_recovery.cc.o"
+  "CMakeFiles/app_recovery.dir/app_recovery.cc.o.d"
+  "app_recovery"
+  "app_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_split_backup.dir/btree_split_backup.cc.o"
+  "CMakeFiles/btree_split_backup.dir/btree_split_backup.cc.o.d"
+  "btree_split_backup"
+  "btree_split_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_split_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

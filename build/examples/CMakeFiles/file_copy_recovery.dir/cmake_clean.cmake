@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_copy_recovery.dir/file_copy_recovery.cc.o"
+  "CMakeFiles/file_copy_recovery.dir/file_copy_recovery.cc.o.d"
+  "file_copy_recovery"
+  "file_copy_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_copy_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_apprec.dir/apprec/app_ops.cc.o"
+  "CMakeFiles/llb_apprec.dir/apprec/app_ops.cc.o.d"
+  "CMakeFiles/llb_apprec.dir/apprec/app_recovery.cc.o"
+  "CMakeFiles/llb_apprec.dir/apprec/app_recovery.cc.o.d"
+  "libllb_apprec.a"
+  "libllb_apprec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_apprec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_backup.dir/backup/backup_job.cc.o"
+  "CMakeFiles/llb_backup.dir/backup/backup_job.cc.o.d"
+  "CMakeFiles/llb_backup.dir/backup/backup_progress.cc.o"
+  "CMakeFiles/llb_backup.dir/backup/backup_progress.cc.o.d"
+  "CMakeFiles/llb_backup.dir/backup/backup_store.cc.o"
+  "CMakeFiles/llb_backup.dir/backup/backup_store.cc.o.d"
+  "CMakeFiles/llb_backup.dir/backup/incremental_tracker.cc.o"
+  "CMakeFiles/llb_backup.dir/backup/incremental_tracker.cc.o.d"
+  "libllb_backup.a"
+  "libllb_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_btree.dir/btree/btree.cc.o"
+  "CMakeFiles/llb_btree.dir/btree/btree.cc.o.d"
+  "CMakeFiles/llb_btree.dir/btree/btree_node.cc.o"
+  "CMakeFiles/llb_btree.dir/btree/btree_node.cc.o.d"
+  "CMakeFiles/llb_btree.dir/btree/btree_ops.cc.o"
+  "CMakeFiles/llb_btree.dir/btree/btree_ops.cc.o.d"
+  "libllb_btree.a"
+  "libllb_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllb_btree.a"
+)

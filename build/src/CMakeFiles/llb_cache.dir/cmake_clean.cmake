@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_cache.dir/cache/cache_manager.cc.o"
+  "CMakeFiles/llb_cache.dir/cache/cache_manager.cc.o.d"
+  "libllb_cache.a"
+  "libllb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_common.dir/common/coding.cc.o"
+  "CMakeFiles/llb_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/llb_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/llb_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/llb_common.dir/common/random.cc.o"
+  "CMakeFiles/llb_common.dir/common/random.cc.o.d"
+  "CMakeFiles/llb_common.dir/common/status.cc.o"
+  "CMakeFiles/llb_common.dir/common/status.cc.o.d"
+  "libllb_common.a"
+  "libllb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_db.dir/db/database.cc.o"
+  "CMakeFiles/llb_db.dir/db/database.cc.o.d"
+  "CMakeFiles/llb_db.dir/db/stats.cc.o"
+  "CMakeFiles/llb_db.dir/db/stats.cc.o.d"
+  "libllb_db.a"
+  "libllb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_filestore.dir/filestore/file_ops.cc.o"
+  "CMakeFiles/llb_filestore.dir/filestore/file_ops.cc.o.d"
+  "CMakeFiles/llb_filestore.dir/filestore/filestore.cc.o"
+  "CMakeFiles/llb_filestore.dir/filestore/filestore.cc.o.d"
+  "libllb_filestore.a"
+  "libllb_filestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_filestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

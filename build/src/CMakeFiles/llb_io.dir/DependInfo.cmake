@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/env.cc" "src/CMakeFiles/llb_io.dir/io/env.cc.o" "gcc" "src/CMakeFiles/llb_io.dir/io/env.cc.o.d"
+  "/root/repo/src/io/fault_env.cc" "src/CMakeFiles/llb_io.dir/io/fault_env.cc.o" "gcc" "src/CMakeFiles/llb_io.dir/io/fault_env.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/CMakeFiles/llb_io.dir/io/mem_env.cc.o" "gcc" "src/CMakeFiles/llb_io.dir/io/mem_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_io.dir/io/env.cc.o"
+  "CMakeFiles/llb_io.dir/io/env.cc.o.d"
+  "CMakeFiles/llb_io.dir/io/fault_env.cc.o"
+  "CMakeFiles/llb_io.dir/io/fault_env.cc.o.d"
+  "CMakeFiles/llb_io.dir/io/mem_env.cc.o"
+  "CMakeFiles/llb_io.dir/io/mem_env.cc.o.d"
+  "libllb_io.a"
+  "libllb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

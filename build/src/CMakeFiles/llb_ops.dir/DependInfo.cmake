@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/op_registry.cc" "src/CMakeFiles/llb_ops.dir/ops/op_registry.cc.o" "gcc" "src/CMakeFiles/llb_ops.dir/ops/op_registry.cc.o.d"
+  "/root/repo/src/ops/operation.cc" "src/CMakeFiles/llb_ops.dir/ops/operation.cc.o" "gcc" "src/CMakeFiles/llb_ops.dir/ops/operation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

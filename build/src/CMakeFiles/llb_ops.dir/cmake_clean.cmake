@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_ops.dir/ops/op_registry.cc.o"
+  "CMakeFiles/llb_ops.dir/ops/op_registry.cc.o.d"
+  "CMakeFiles/llb_ops.dir/ops/operation.cc.o"
+  "CMakeFiles/llb_ops.dir/ops/operation.cc.o.d"
+  "libllb_ops.a"
+  "libllb_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_recovery.dir/recovery/checkpoint.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/checkpoint.cc.o.d"
+  "CMakeFiles/llb_recovery.dir/recovery/general_write_graph.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/general_write_graph.cc.o.d"
+  "CMakeFiles/llb_recovery.dir/recovery/media_recovery.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/media_recovery.cc.o.d"
+  "CMakeFiles/llb_recovery.dir/recovery/redo.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/redo.cc.o.d"
+  "CMakeFiles/llb_recovery.dir/recovery/tree_write_graph.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/tree_write_graph.cc.o.d"
+  "CMakeFiles/llb_recovery.dir/recovery/write_graph.cc.o"
+  "CMakeFiles/llb_recovery.dir/recovery/write_graph.cc.o.d"
+  "libllb_recovery.a"
+  "libllb_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

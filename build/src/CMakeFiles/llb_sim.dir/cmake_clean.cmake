@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_sim.dir/sim/harness.cc.o"
+  "CMakeFiles/llb_sim.dir/sim/harness.cc.o.d"
+  "CMakeFiles/llb_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/llb_sim.dir/sim/workload.cc.o.d"
+  "libllb_sim.a"
+  "libllb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

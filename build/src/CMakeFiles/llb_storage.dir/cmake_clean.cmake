@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_storage.dir/storage/page.cc.o"
+  "CMakeFiles/llb_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/llb_storage.dir/storage/page_store.cc.o"
+  "CMakeFiles/llb_storage.dir/storage/page_store.cc.o.d"
+  "libllb_storage.a"
+  "libllb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

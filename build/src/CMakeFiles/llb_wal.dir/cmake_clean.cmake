@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_wal.dir/wal/log_manager.cc.o"
+  "CMakeFiles/llb_wal.dir/wal/log_manager.cc.o.d"
+  "CMakeFiles/llb_wal.dir/wal/log_reader.cc.o"
+  "CMakeFiles/llb_wal.dir/wal/log_reader.cc.o.d"
+  "CMakeFiles/llb_wal.dir/wal/log_record.cc.o"
+  "CMakeFiles/llb_wal.dir/wal/log_record.cc.o.d"
+  "CMakeFiles/llb_wal.dir/wal/log_writer.cc.o"
+  "CMakeFiles/llb_wal.dir/wal/log_writer.cc.o.d"
+  "libllb_wal.a"
+  "libllb_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

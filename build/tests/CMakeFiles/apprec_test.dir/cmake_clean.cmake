@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apprec_test.dir/apprec_test.cc.o"
+  "CMakeFiles/apprec_test.dir/apprec_test.cc.o.d"
+  "apprec_test"
+  "apprec_test.pdb"
+  "apprec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apprec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_matrix_test.dir/backup_matrix_test.cc.o"
+  "CMakeFiles/backup_matrix_test.dir/backup_matrix_test.cc.o.d"
+  "backup_matrix_test"
+  "backup_matrix_test.pdb"
+  "backup_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_negative_test.dir/backup_negative_test.cc.o"
+  "CMakeFiles/backup_negative_test.dir/backup_negative_test.cc.o.d"
+  "backup_negative_test"
+  "backup_negative_test.pdb"
+  "backup_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_model_test.dir/btree_model_test.cc.o"
+  "CMakeFiles/btree_model_test.dir/btree_model_test.cc.o.d"
+  "btree_model_test"
+  "btree_model_test.pdb"
+  "btree_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitr_partition_test.dir/pitr_partition_test.cc.o"
+  "CMakeFiles/pitr_partition_test.dir/pitr_partition_test.cc.o.d"
+  "pitr_partition_test"
+  "pitr_partition_test.pdb"
+  "pitr_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitr_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redo_test.dir/redo_test.cc.o"
+  "CMakeFiles/redo_test.dir/redo_test.cc.o.d"
+  "redo_test"
+  "redo_test.pdb"
+  "redo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

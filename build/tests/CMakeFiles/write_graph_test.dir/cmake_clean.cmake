@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_graph_test.dir/write_graph_test.cc.o"
+  "CMakeFiles/write_graph_test.dir/write_graph_test.cc.o.d"
+  "write_graph_test"
+  "write_graph_test.pdb"
+  "write_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/write_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/redo_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/backup_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/filestore_test[1]_include.cmake")
+include("/root/repo/build/tests/apprec_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/media_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pitr_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/backup_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_property_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/backup_negative_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_model_test[1]_include.cmake")

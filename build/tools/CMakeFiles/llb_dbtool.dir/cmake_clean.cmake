@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llb_dbtool.dir/dbtool.cc.o"
+  "CMakeFiles/llb_dbtool.dir/dbtool.cc.o.d"
+  "llb_dbtool"
+  "llb_dbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llb_dbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
