@@ -1,6 +1,7 @@
 #include "backup/backup_job.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -19,13 +20,52 @@ BackupJob::BackupJob(Env* env, PageStore* stable,
       pages_per_partition_(pages_per_partition),
       options_(options) {}
 
+Status BackupJob::WithRetry(const std::function<Status()>& fn) {
+  uint64_t backoff_us = options_.retry.backoff_start_us;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = fn();
+    if (s.ok() || (!s.IsIoError() && !s.IsCorruption())) return s;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.io_faults;
+    }
+    if (attempt >= options_.retry.max_retries) return s;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.retries;
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = static_cast<uint64_t>(
+          static_cast<double>(backoff_us) * options_.retry.backoff_multiplier);
+    }
+  }
+}
+
+Status BackupJob::UpdateCursor(BackupCursor* cursor, PartitionId partition,
+                               uint32_t boundary) {
+  std::lock_guard<std::mutex> lock(cursor_mu_);
+  cursor->next_page[partition] = boundary;
+  return WithRetry([&] { return cursor->Save(env_); });
+}
+
 Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
-                                  const std::vector<uint32_t>* page_filter) {
+                                  const std::vector<uint32_t>* page_filter,
+                                  uint32_t steps, uint32_t start_from,
+                                  BackupCursor* cursor) {
   BackupProgress* progress = coordinator_->Get(partition);
-  const uint32_t steps = std::max<uint32_t>(1, options_.steps);
   uint64_t copied = 0;
 
-  uint32_t copy_from = 0;
+  // Resuming: everything below the durable cursor is Done, nothing is in
+  // flight. The fences have stayed up since the abort (conservatively
+  // classifying [cursor, old P) as Doubt); pulling P back to the cursor
+  // is safe because the sweep below re-copies everything from there.
+  if (start_from > 0) {
+    std::unique_lock<std::shared_mutex> latch(progress->latch());
+    progress->RestoreFences(start_from);
+  }
+
+  uint32_t copy_from = start_from;
   for (uint32_t m = 1; m <= steps; ++m) {
     // Advance the pending fence to this step's boundary (exclusive latch:
     // "When the backup process updates its progress, it requests the
@@ -33,6 +73,7 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
     uint32_t boundary = (m == steps)
                             ? pages_per_partition_
                             : (pages_per_partition_ * m) / steps;
+    if (boundary <= start_from) continue;  // step completed before abort
     {
       std::unique_lock<std::shared_mutex> latch(progress->latch());
       progress->SetPendingFence(boundary);
@@ -46,6 +87,9 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
     // cache-manager involvement. Concurrent flushes to these positions
     // are in the Doubt region and hence identity-logged by the cache
     // manager; page-level read/write atomicity is all we need here.
+    // Transient IO errors are retried; if retries are exhausted the sweep
+    // aborts with the fences still up and the cursor at the last
+    // completed step, ready for Resume.
     for (uint32_t page = copy_from; page < boundary; ++page) {
       if (page_filter != nullptr &&
           !std::binary_search(page_filter->begin(), page_filter->end(),
@@ -54,16 +98,22 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
       }
       PageId id{partition, page};
       PageImage image;
-      LLB_RETURN_IF_ERROR(stable_->ReadPage(id, &image));
-      LLB_RETURN_IF_ERROR(dest->WritePage(id, image));
+      LLB_RETURN_IF_ERROR(
+          WithRetry([&] { return stable_->ReadPage(id, &image); }));
+      LLB_RETURN_IF_ERROR(
+          WithRetry([&] { return dest->WritePage(id, image); }));
       ++copied;
     }
     copy_from = boundary;
 
-    // All pages below the boundary are now in B: Done.
+    // All pages below the boundary are now in B: Done. Persist the
+    // cursor so a later fault can resume from this boundary.
     {
       std::unique_lock<std::shared_mutex> latch(progress->latch());
       progress->SetDoneFence();
+    }
+    if (cursor != nullptr) {
+      LLB_RETURN_IF_ERROR(UpdateCursor(cursor, partition, boundary));
     }
   }
 
@@ -80,10 +130,8 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
 
 namespace {
 
-Status RunPartitions(BackupJob* job, BackupCoordinator* coordinator,
-                     bool parallel,
+Status RunPartitions(BackupCoordinator* coordinator, bool parallel,
                      const std::function<Status(PartitionId)>& body) {
-  (void)job;
   uint32_t n = coordinator->num_partitions();
   if (!parallel || n == 1) {
     for (PartitionId p = 0; p < n; ++p) LLB_RETURN_IF_ERROR(body(p));
@@ -102,17 +150,20 @@ Status RunPartitions(BackupJob* job, BackupCoordinator* coordinator,
 
 }  // namespace
 
-Result<BackupManifest> BackupJob::Run(const std::string& name, Lsn start_lsn) {
-  BackupManifest manifest;
-  manifest.name = name;
-  manifest.start_lsn = start_lsn;
-  manifest.partitions = coordinator_->num_partitions();
-  manifest.pages_per_partition = pages_per_partition_;
-  manifest.steps = options_.steps;
-
+Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
+                                        BackupCursor cursor, bool resuming) {
   uint64_t fences_before = 0;
   for (PartitionId p = 0; p < manifest.partitions; ++p) {
     fences_before += coordinator_->Get(p)->fence_updates();
+  }
+
+  // Per-partition sorted page filters (incremental backups only).
+  std::unordered_map<PartitionId, std::vector<uint32_t>> filters;
+  if (manifest.incremental) {
+    for (PartitionId p = 0; p < manifest.partitions; ++p) filters[p] = {};
+    for (const PageId& id : manifest.pages) {
+      filters[id.partition].push_back(id.page);
+    }
   }
 
   LLB_ASSIGN_OR_RETURN(
@@ -120,20 +171,59 @@ Result<BackupManifest> BackupJob::Run(const std::string& name, Lsn start_lsn) {
       PageStore::Open(env_, manifest.StoreName(), manifest.partitions));
 
   LLB_RETURN_IF_ERROR(RunPartitions(
-      this, coordinator_, options_.parallel_partitions, [&](PartitionId p) {
-        return BackupPartition(dest.get(), p, /*page_filter=*/nullptr);
+      coordinator_, options_.parallel_partitions, [&](PartitionId p) {
+        uint32_t start_from = cursor.next_page[p];
+        if (start_from >= pages_per_partition_) return Status::OK();
+        if (resuming && start_from > 0) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.partitions_resumed;
+          stats_.pages_skipped_on_resume += start_from;
+        }
+        return BackupPartition(
+            dest.get(), p,
+            manifest.incremental ? &filters.find(p)->second : nullptr,
+            manifest.steps, start_from,
+            options_.resumable ? &cursor : nullptr);
       }));
 
   manifest.end_lsn = log_->next_lsn() - 1;
   manifest.complete = true;
-  LLB_RETURN_IF_ERROR(manifest.Save(env_));
+  LLB_RETURN_IF_ERROR(WithRetry([&] { return manifest.Save(env_); }));
+  if (options_.resumable) {
+    LLB_RETURN_IF_ERROR(BackupCursor::Remove(env_, manifest.name));
+  }
 
   uint64_t fences_after = 0;
   for (PartitionId p = 0; p < manifest.partitions; ++p) {
     fences_after += coordinator_->Get(p)->fence_updates();
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.fence_updates += fences_after - fences_before;
   return manifest;
+}
+
+Result<BackupManifest> BackupJob::Run(const std::string& name, Lsn start_lsn) {
+  BackupManifest manifest;
+  manifest.name = name;
+  manifest.start_lsn = start_lsn;
+  manifest.partitions = coordinator_->num_partitions();
+  manifest.pages_per_partition = pages_per_partition_;
+  manifest.steps = std::max<uint32_t>(1, options_.steps);
+
+  // Persist the incomplete manifest (carrying start_lsn) and an all-zero
+  // cursor before sweeping: an aborted run leaves everything Resume
+  // needs.
+  LLB_RETURN_IF_ERROR(WithRetry([&] { return manifest.Save(env_); }));
+  BackupCursor cursor;
+  cursor.backup_name = name;
+  cursor.partitions = manifest.partitions;
+  cursor.pages_per_partition = pages_per_partition_;
+  cursor.steps = manifest.steps;
+  cursor.next_page.assign(manifest.partitions, 0);
+  if (options_.resumable) {
+    LLB_RETURN_IF_ERROR(WithRetry([&] { return cursor.Save(env_); }));
+  }
+  return Sweep(std::move(manifest), std::move(cursor), /*resuming=*/false);
 }
 
 Result<BackupManifest> BackupJob::RunIncremental(
@@ -144,30 +234,41 @@ Result<BackupManifest> BackupJob::RunIncremental(
   manifest.start_lsn = start_lsn;
   manifest.partitions = coordinator_->num_partitions();
   manifest.pages_per_partition = pages_per_partition_;
-  manifest.steps = options_.steps;
+  manifest.steps = std::max<uint32_t>(1, options_.steps);
   manifest.incremental = true;
   manifest.base_name = base_name;
   std::sort(changed_pages.begin(), changed_pages.end());
   manifest.pages = changed_pages;
 
-  // Per-partition sorted page filters.
-  std::unordered_map<PartitionId, std::vector<uint32_t>> filters;
-  for (PartitionId p = 0; p < manifest.partitions; ++p) filters[p] = {};
-  for (const PageId& id : changed_pages) filters[id.partition].push_back(id.page);
+  LLB_RETURN_IF_ERROR(WithRetry([&] { return manifest.Save(env_); }));
+  BackupCursor cursor;
+  cursor.backup_name = name;
+  cursor.partitions = manifest.partitions;
+  cursor.pages_per_partition = pages_per_partition_;
+  cursor.steps = manifest.steps;
+  cursor.next_page.assign(manifest.partitions, 0);
+  if (options_.resumable) {
+    LLB_RETURN_IF_ERROR(WithRetry([&] { return cursor.Save(env_); }));
+  }
+  return Sweep(std::move(manifest), std::move(cursor), /*resuming=*/false);
+}
 
-  LLB_ASSIGN_OR_RETURN(
-      std::unique_ptr<PageStore> dest,
-      PageStore::Open(env_, manifest.StoreName(), manifest.partitions));
-
-  LLB_RETURN_IF_ERROR(RunPartitions(
-      this, coordinator_, options_.parallel_partitions, [&](PartitionId p) {
-        return BackupPartition(dest.get(), p, &filters[p]);
-      }));
-
-  manifest.end_lsn = log_->next_lsn() - 1;
-  manifest.complete = true;
-  LLB_RETURN_IF_ERROR(manifest.Save(env_));
-  return manifest;
+Result<BackupManifest> BackupJob::Resume(const std::string& name) {
+  LLB_ASSIGN_OR_RETURN(BackupManifest manifest,
+                       BackupManifest::Load(env_, name));
+  if (manifest.complete) {
+    return Status::FailedPrecondition("backup already complete: " + name);
+  }
+  LLB_ASSIGN_OR_RETURN(BackupCursor cursor, BackupCursor::Load(env_, name));
+  if (cursor.partitions != manifest.partitions ||
+      cursor.partitions != coordinator_->num_partitions() ||
+      cursor.pages_per_partition != pages_per_partition_ ||
+      cursor.pages_per_partition != manifest.pages_per_partition ||
+      cursor.steps != manifest.steps) {
+    return Status::FailedPrecondition(
+        "backup cursor does not match the job geometry: " + name);
+  }
+  return Sweep(std::move(manifest), std::move(cursor), /*resuming=*/true);
 }
 
 }  // namespace llb

@@ -17,6 +17,21 @@
 
 namespace llb {
 
+/// Bounded retries with deterministic exponential backoff for transient
+/// faults during the sweep. IoError statuses are retried, as are
+/// Corruption statuses (a checksum mismatch on a read may be a transient
+/// bit-flip on the wire — the persistent kind still surfaces once the
+/// retry budget is exhausted); other failures surface immediately.
+struct RetryPolicy {
+  /// Additional attempts after the first failure (0 = fail fast).
+  uint32_t max_retries = 0;
+  /// Sleep before the first retry, in microseconds (0 = no sleeping —
+  /// the deterministic choice for tests). Each subsequent retry waits
+  /// `backoff_multiplier` times longer.
+  uint32_t backoff_start_us = 0;
+  double backoff_multiplier = 2.0;
+};
+
 struct BackupJobOptions {
   /// Number of progress-reporting steps per partition (paper section 5's
   /// N). One step degenerates to "backup active / not active"; more steps
@@ -25,6 +40,14 @@ struct BackupJobOptions {
   /// Back up partitions on concurrent threads (each partition has its own
   /// fences and latch, so they interleave freely — paper 3.4).
   bool parallel_partitions = false;
+  /// Retry policy for transient IO errors on page copies and sweep
+  /// metadata writes.
+  RetryPolicy retry;
+  /// Persist a per-partition cursor in the backup store after every
+  /// completed step, so an aborted Run can be continued with Resume
+  /// instead of restarting from page 0. Costs one small durable write
+  /// per step per partition.
+  bool resumable = true;
   /// Test/benchmark hook: invoked once per step, after the pending fence
   /// has been advanced but before the step's pages are copied — i.e.
   /// while the Doubt window [D, P) is genuinely in doubt. Runs without
@@ -36,6 +59,16 @@ struct BackupJobOptions {
 struct BackupJobStats {
   uint64_t pages_copied = 0;
   uint64_t fence_updates = 0;
+  /// Transient IO errors observed by the sweep (including ones that a
+  /// retry then absorbed).
+  uint64_t io_faults = 0;
+  /// Retry attempts performed under the RetryPolicy.
+  uint64_t retries = 0;
+  /// Partitions continued past page 0 by Resume.
+  uint64_t partitions_resumed = 0;
+  /// Page positions Resume skipped because the cursor showed them
+  /// already durably in B.
+  uint64_t pages_skipped_on_resume = 0;
 };
 
 /// The on-line backup process: sweeps the stable database S in backup
@@ -43,6 +76,15 @@ struct BackupJobStats {
 /// cache manager entirely — while reporting progress through the backup
 /// fences. Update activity continues concurrently; the cache manager's
 /// backup-aware flush path (cache/cache_manager.h) keeps B recoverable.
+///
+/// Fault tolerance: transient IO errors are retried per the RetryPolicy.
+/// If a sweep still fails, it leaves behind (1) an incomplete manifest
+/// holding the original start_lsn, (2) a durable BackupCursor recording
+/// each partition's last completed step boundary, and (3) the partition
+/// fences, still up, so concurrent flushes keep being identity-logged.
+/// Resume(name) then continues each partition from its cursor; the D/P
+/// fence math stays correct because everything below the cursor is
+/// durably in B (Done) and everything above is re-swept (Pending).
 class BackupJob {
  public:
   BackupJob(Env* env, PageStore* stable, BackupCoordinator* coordinator,
@@ -64,11 +106,38 @@ class BackupJob {
                                         Lsn start_lsn,
                                         std::vector<PageId> changed_pages);
 
+  /// Continues an aborted resumable backup from its persisted cursor.
+  /// The start_lsn (and, for incrementals, the page list) comes from the
+  /// incomplete manifest the aborted Run left behind. Correct only while
+  /// the partition fences have stayed up since the abort (same
+  /// coordinator, no Reset in between): the fences are what kept flushes
+  /// into already-copied regions identity-logged.
+  Result<BackupManifest> Resume(const std::string& name);
+
   const BackupJobStats& stats() const { return stats_; }
 
  private:
+  /// Sweeps one partition from `start_from` (0 for a fresh run). `steps`
+  /// comes from the manifest so resumed sweeps reuse the original fence
+  /// boundaries. `cursor`, when non-null, is durably updated after every
+  /// completed step.
   Status BackupPartition(PageStore* dest, PartitionId partition,
-                         const std::vector<uint32_t>* page_filter);
+                         const std::vector<uint32_t>* page_filter,
+                         uint32_t steps, uint32_t start_from,
+                         BackupCursor* cursor);
+
+  /// Shared sweep driver for Run/RunIncremental/Resume. Fills in
+  /// end_lsn, marks the manifest complete, and retires the cursor.
+  Result<BackupManifest> Sweep(BackupManifest manifest, BackupCursor cursor,
+                               bool resuming);
+
+  /// Runs fn, retrying IoError/Corruption failures per options_.retry.
+  Status WithRetry(const std::function<Status()>& fn);
+
+  /// Durably records that `partition` completed the step ending at
+  /// `boundary`.
+  Status UpdateCursor(BackupCursor* cursor, PartitionId partition,
+                      uint32_t boundary);
 
   Env* const env_;
   PageStore* const stable_;
@@ -76,6 +145,7 @@ class BackupJob {
   LogManager* const log_;
   const uint32_t pages_per_partition_;
   const BackupJobOptions options_;
+  std::mutex cursor_mu_;
   std::mutex stats_mu_;
   BackupJobStats stats_;
 };

@@ -67,6 +67,20 @@ class BackupProgress {
     ++fence_updates_;
   }
 
+  /// Re-establishes the fences when a previously aborted sweep of this
+  /// partition resumes: every position below `done` is durably in B, and
+  /// no step copy is in flight, so D = P = done. Positions at or above
+  /// `done` become Pending again — correct because the resumed sweep
+  /// re-copies from `done` — and positions below stay Done. An aborted
+  /// sweep leaves its fences up (the job never calls Reset on failure),
+  /// so flushes between abort and resume keep being identity-logged; this
+  /// call only pulls the pending fence back to the durable cursor.
+  void RestoreFences(BackupPos done) {
+    done_ = done;
+    pending_ = done;
+    ++fence_updates_;
+  }
+
   /// Resets to the between-backups state D = P = Min.
   void Reset() {
     done_ = 0;

@@ -1,0 +1,187 @@
+#include "backup/backup_scrubber.h"
+
+#include <algorithm>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ops/operation.h"
+#include "recovery/redo.h"
+#include "storage/page.h"
+
+namespace llb {
+
+namespace {
+
+/// Best-effort removal of a page store's files (the scrub scratch store).
+void RemoveStoreFiles(Env* env, const std::string& prefix,
+                      uint32_t partitions) {
+  for (uint32_t p = 0; p < partitions; ++p) {
+    (void)env->DeleteFile(prefix + ".p" + std::to_string(p));
+  }
+  (void)env->DeleteFile(prefix + ".journal");
+}
+
+}  // namespace
+
+Status BackupScrubber::RepairPage(PageStore* store,
+                                  const BackupManifest& manifest,
+                                  const PageId& id, ScrubReport* report) {
+  // Both repair paths log an identity write, so without the log there is
+  // nothing sound we can do.
+  if (options_.log == nullptr) {
+    ++report->unrepaired;
+    return Status::OK();
+  }
+  // Make the log tail durable: the rebuild below replays only durable
+  // records, and the identity write must not outrank buffered ones.
+  LLB_RETURN_IF_ERROR(options_.log->Force());
+
+  // Source 1: re-read the page from the live stable database S, after
+  // installing any newer uninstalled value so the image is current.
+  PageImage image;
+  bool have_image = false;
+  bool from_log = false;
+  if (options_.stable != nullptr) {
+    if (options_.install_current) {
+      LLB_RETURN_IF_ERROR(options_.install_current(id));
+    }
+    have_image = options_.stable->ReadPage(id, &image).ok();
+  }
+
+  // Source 2: S is bad too (or absent) — rebuild the page by media-
+  // recovery redo: re-execute the partition's log history from LSN 1
+  // onto an empty scratch store. Sound only if the log still reaches
+  // back to its first record.
+  if (!have_image && options_.registry != nullptr) {
+    Lsn first = kInvalidLsn;
+    Status scan = options_.log->Scan(1, [&](const LogRecord& rec) {
+      first = rec.lsn;
+      // Sentinel abort: one record is all we need.
+      return Status::FailedPrecondition("first record found");
+    });
+    if (!scan.ok() && first == kInvalidLsn) return scan;
+    if (first == 1) {
+      const std::string scratch_prefix = manifest.name + ".scrub_scratch";
+      RemoveStoreFiles(env_, scratch_prefix, manifest.partitions);
+      LLB_ASSIGN_OR_RETURN(
+          std::unique_ptr<PageStore> scratch,
+          PageStore::Open(env_, scratch_prefix, manifest.partitions));
+      PartitionId part = id.partition;
+      Result<RedoReport> redo =
+          RunRedoRange(*options_.log, *options_.registry, scratch.get(),
+                       /*start_lsn=*/1, kInvalidLsn, &part,
+                       /*use_identity_seeds=*/false);
+      Status read;
+      if (redo.ok()) read = scratch->ReadPage(id, &image);
+      scratch.reset();
+      RemoveStoreFiles(env_, scratch_prefix, manifest.partitions);
+      if (!redo.ok()) return redo.status();
+      if (read.ok()) {
+        have_image = true;
+        from_log = true;
+      }
+    }
+  }
+
+  if (!have_image) {
+    ++report->unrepaired;
+    return Status::OK();
+  }
+
+  // Install under the fence protocol: log the identity write W_IP(X)
+  // first (Iw/oF ordering — log before install), force it, then write
+  // the page into B. Any restore that rolls forward past the record
+  // blind-reinstalls this image, so the repair is sound regardless of
+  // which chain member held the bad page.
+  {
+    std::shared_lock<std::shared_mutex> latch;
+    if (options_.coordinator != nullptr) {
+      latch = std::shared_lock<std::shared_mutex>(
+          options_.coordinator->Get(id.partition)->latch());
+    }
+    LogRecord rec = MakeIdentityWrite(id, image);
+    options_.log->Append(&rec);
+    LLB_RETURN_IF_ERROR(options_.log->Force());
+    // Redo of W_IP stamps the page with the record's LSN, so stamp the
+    // installed copies the same way — B (and a healed S) must be
+    // byte-identical to what any recovery replaying this record produces.
+    image.set_lsn(rec.lsn);
+    LLB_RETURN_IF_ERROR(store->WritePage(id, image));
+    // Heal S with the repaired image: rebuilt content after a log
+    // rebuild, or just the advanced LSN when S itself was the source.
+    if (options_.stable != nullptr) {
+      LLB_RETURN_IF_ERROR(options_.stable->WritePage(id, image));
+    }
+  }
+  if (from_log) {
+    ++report->repaired_from_log;
+  } else {
+    ++report->repaired_from_stable;
+  }
+  return Status::OK();
+}
+
+Result<ScrubReport> BackupScrubber::Scrub(const std::string& backup_name) {
+  // Walk the manifest chain newest -> base, then scrub base-first.
+  std::vector<BackupManifest> chain;
+  std::string cur = backup_name;
+  while (true) {
+    LLB_ASSIGN_OR_RETURN(BackupManifest m, BackupManifest::Load(env_, cur));
+    if (!m.complete) {
+      return Status::FailedPrecondition(
+          "backup not complete (resume it first): " + cur);
+    }
+    const bool incremental = m.incremental;
+    const std::string base = m.base_name;
+    chain.push_back(std::move(m));
+    if (!incremental) break;
+    if (base.empty()) {
+      return Status::Corruption("incremental backup without a base: " + cur);
+    }
+    cur = base;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  for (size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i].partitions != chain[0].partitions ||
+        chain[i].pages_per_partition != chain[0].pages_per_partition) {
+      return Status::Corruption("backup chain geometry mismatch: " +
+                                chain[i].name);
+    }
+  }
+
+  ScrubReport report;
+  report.manifests_checked = static_cast<uint32_t>(chain.size());
+
+  for (const BackupManifest& m : chain) {
+    LLB_ASSIGN_OR_RETURN(std::unique_ptr<PageStore> store,
+                         PageStore::Open(env_, m.StoreName(), m.partitions));
+    auto check = [&](const PageId& id) -> Status {
+      ++report.pages_scanned;
+      PageImage image;
+      Status s = store->ReadPage(id, &image);
+      if (s.ok()) return Status::OK();
+      // Checksum mismatches and unreadable sectors are page damage;
+      // anything else (e.g. bad partition id) is a scrub failure.
+      if (!s.IsCorruption() && !s.IsIoError()) return s;
+      ++report.bad_pages;
+      if (!options_.repair) return Status::OK();
+      return RepairPage(store.get(), m, id, &report);
+    };
+    if (m.incremental) {
+      for (const PageId& id : m.pages) LLB_RETURN_IF_ERROR(check(id));
+    } else {
+      for (PartitionId p = 0; p < m.partitions; ++p) {
+        for (uint32_t page = 0; page < m.pages_per_partition; ++page) {
+          LLB_RETURN_IF_ERROR(check(PageId{p, page}));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace llb

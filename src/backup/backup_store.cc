@@ -7,6 +7,7 @@ namespace llb {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x4C4C424Du;  // "LLBM"
+constexpr uint32_t kCursorMagic = 0x4C4C4243u;    // "LLBC"
 }  // namespace
 
 Status BackupManifest::Save(Env* env) const {
@@ -73,6 +74,65 @@ Result<BackupManifest> BackupManifest::Load(Env* env,
     m.pages.push_back(id);
   }
   return m;
+}
+
+Status BackupCursor::Save(Env* env) const {
+  std::string blob;
+  PutFixed32(&blob, kCursorMagic);
+  PutLengthPrefixed(&blob, Slice(backup_name));
+  PutFixed32(&blob, partitions);
+  PutFixed32(&blob, pages_per_partition);
+  PutFixed32(&blob, steps);
+  for (uint32_t boundary : next_page) PutFixed32(&blob, boundary);
+  PutFixed32(&blob, crc32c::Value(blob.data(), blob.size()));
+
+  LLB_ASSIGN_OR_RETURN(
+      std::shared_ptr<File> file,
+      env->OpenFile(FileName(backup_name), /*create=*/true));
+  LLB_RETURN_IF_ERROR(file->Truncate(0));
+  LLB_RETURN_IF_ERROR(file->WriteAt(0, Slice(blob)));
+  return file->Sync();
+}
+
+Result<BackupCursor> BackupCursor::Load(Env* env, const std::string& name) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(FileName(name), /*create=*/false));
+  LLB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string blob;
+  LLB_RETURN_IF_ERROR(file->ReadAt(0, size, &blob));
+  if (blob.size() < 8) return Status::Corruption("cursor too small");
+
+  uint32_t stored_crc = DecodeFixed32(blob.data() + blob.size() - 4);
+  if (stored_crc != crc32c::Value(blob.data(), blob.size() - 4)) {
+    return Status::Corruption("cursor crc mismatch");
+  }
+
+  SliceReader reader(Slice(blob.data(), blob.size() - 4));
+  BackupCursor c;
+  uint32_t magic = 0;
+  Slice name_slice;
+  if (!reader.ReadFixed32(&magic) || magic != kCursorMagic ||
+      !reader.ReadLengthPrefixed(&name_slice) ||
+      !reader.ReadFixed32(&c.partitions) ||
+      !reader.ReadFixed32(&c.pages_per_partition) ||
+      !reader.ReadFixed32(&c.steps) ||
+      reader.remaining() != uint64_t{c.partitions} * 4) {
+    return Status::Corruption("malformed cursor");
+  }
+  c.backup_name = name_slice.ToString();
+  c.next_page.resize(c.partitions);
+  for (uint32_t p = 0; p < c.partitions; ++p) {
+    if (!reader.ReadFixed32(&c.next_page[p])) {
+      return Status::Corruption("malformed cursor");
+    }
+  }
+  return c;
+}
+
+Status BackupCursor::Remove(Env* env, const std::string& name) {
+  Status s = env->DeleteFile(FileName(name));
+  if (s.IsNotFound()) return Status::OK();
+  return s;
 }
 
 }  // namespace llb

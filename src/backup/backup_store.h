@@ -41,6 +41,34 @@ struct BackupManifest {
   std::string StoreName() const { return name + ".pages"; }
 };
 
+/// Durable per-partition progress of an in-flight backup sweep, persisted
+/// in the backup store after every completed step. If the sweep aborts on
+/// a transient fault, BackupJob::Resume reloads the cursor and continues
+/// each partition from its recorded boundary instead of re-copying from
+/// page 0. Deleted when the backup completes.
+struct BackupCursor {
+  std::string backup_name;
+  uint32_t partitions = 0;
+  uint32_t pages_per_partition = 0;
+  uint32_t steps = 0;
+  /// Per partition: first page position NOT yet durably copied to B
+  /// (== pages_per_partition once the partition's sweep finished).
+  std::vector<uint32_t> next_page;
+
+  /// Persists to "<backup_name>.cursor" in env (atomic rewrite).
+  Status Save(Env* env) const;
+
+  /// Loads "<name>.cursor".
+  static Result<BackupCursor> Load(Env* env, const std::string& name);
+
+  /// Removes the cursor file (backup complete). Missing file is OK.
+  static Status Remove(Env* env, const std::string& name);
+
+  static std::string FileName(const std::string& name) {
+    return name + ".cursor";
+  }
+};
+
 }  // namespace llb
 
 #endif  // LLB_BACKUP_BACKUP_STORE_H_

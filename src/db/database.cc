@@ -94,7 +94,8 @@ Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
 }
 
 Result<BackupManifest> Database::TakeBackupWithOptions(
-    const std::string& backup_name, const BackupJobOptions& job_options) {
+    const std::string& backup_name, const BackupJobOptions& job_options,
+    BackupJobStats* stats_out) {
   // The media recovery log scan start point is the crash recovery log
   // scan start point at the time backup begins (paper 1.2). The log up to
   // here must be durable so a media recovery never misses operations.
@@ -107,12 +108,46 @@ Result<BackupManifest> Database::TakeBackupWithOptions(
 
   BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
                 options_.pages_per_partition, job_options);
-  LLB_ASSIGN_OR_RETURN(BackupManifest manifest, job.Run(backup_name,
-                                                        start_lsn));
+  Result<BackupManifest> manifest = job.Run(backup_name, start_lsn);
+  if (stats_out != nullptr) *stats_out = job.stats();
+  if (!manifest.ok()) return manifest.status();
   ++backups_taken_;
   backup_pages_copied_ += job.stats().pages_copied;
   backup_fence_updates_ += job.stats().fence_updates;
   return manifest;
+}
+
+Result<BackupManifest> Database::ResumeBackup(
+    const std::string& backup_name, const BackupJobOptions& job_options,
+    BackupJobStats* stats_out) {
+  BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
+                options_.pages_per_partition, job_options);
+  Result<BackupManifest> manifest = job.Resume(backup_name);
+  if (stats_out != nullptr) *stats_out = job.stats();
+  if (!manifest.ok()) return manifest.status();
+  ++backups_taken_;
+  backup_pages_copied_ += job.stats().pages_copied;
+  backup_fence_updates_ += job.stats().fence_updates;
+  return manifest;
+}
+
+Result<ScrubReport> Database::VerifyBackup(const std::string& backup_name) {
+  BackupScrubber scrubber(env_, ScrubOptions{});
+  return scrubber.Scrub(backup_name);
+}
+
+Result<ScrubReport> Database::ScrubBackup(const std::string& backup_name) {
+  ScrubOptions scrub_options;
+  scrub_options.repair = true;
+  scrub_options.stable = stable_.get();
+  scrub_options.log = log_.get();
+  scrub_options.registry = &registry_;
+  scrub_options.coordinator = &coordinator_;
+  scrub_options.install_current = [this](const PageId& id) {
+    return cache_->FlushPage(id);
+  };
+  BackupScrubber scrubber(env_, scrub_options);
+  return scrubber.Scrub(backup_name);
 }
 
 Result<BackupManifest> Database::TakeIncrementalBackup(

@@ -6,6 +6,7 @@
 
 #include "backup/backup_job.h"
 #include "backup/backup_progress.h"
+#include "backup/backup_scrubber.h"
 #include "backup/backup_store.h"
 #include "backup/incremental_tracker.h"
 #include "cache/cache_manager.h"
@@ -99,15 +100,36 @@ class Database {
   Result<BackupManifest> TakeBackup(const std::string& backup_name,
                                     uint32_t steps = 0);
 
-  /// Full control over the job (step count, parallelism, mid-step hook).
-  Result<BackupManifest> TakeBackupWithOptions(const std::string& backup_name,
-                                               const BackupJobOptions& job);
+  /// Full control over the job (step count, parallelism, retry policy,
+  /// mid-step hook). `stats_out`, when non-null, receives the job's
+  /// stats — also filled in when the job fails, so an aborted sweep's
+  /// fault counts remain observable.
+  Result<BackupManifest> TakeBackupWithOptions(
+      const std::string& backup_name, const BackupJobOptions& job,
+      BackupJobStats* stats_out = nullptr);
 
   /// Takes an incremental backup of pages changed since the previous
   /// backup, chained to `base_name`.
   Result<BackupManifest> TakeIncrementalBackup(const std::string& backup_name,
                                                const std::string& base_name,
                                                uint32_t steps = 0);
+
+  /// Continues an aborted resumable backup from its persisted cursor
+  /// (see BackupJob::Resume). `stats_out`, when non-null, receives the
+  /// resumed job's stats (retries, pages skipped, ...).
+  Result<BackupManifest> ResumeBackup(const std::string& backup_name,
+                                      const BackupJobOptions& job_options = {},
+                                      BackupJobStats* stats_out = nullptr);
+
+  /// Verifies every page checksum and the manifest chain of a finished
+  /// backup. Read-only: never mutates the backup, S, or the log.
+  Result<ScrubReport> VerifyBackup(const std::string& backup_name);
+
+  /// Verify plus repair: bad backup pages are re-copied from S under the
+  /// fence protocol (identity write first), or rebuilt from the log when
+  /// S is bad too (healing S as a side effect). Run quiesced — see
+  /// BackupScrubber's repair caveats.
+  Result<ScrubReport> ScrubBackup(const std::string& backup_name);
 
   OpRegistry* registry() { return &registry_; }
   CacheManager* cache() { return cache_.get(); }

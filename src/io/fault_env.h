@@ -24,10 +24,13 @@ class RecordingInjector : public FaultInjector {
 };
 
 /// Fails exactly the n-th durability event (1-based) and every one after,
-/// i.e. the system crashes *during* that stable write.
+/// i.e. the system crashes *during* that stable write. n == 0 is clamped
+/// to 1 (crash at the very first event): the naive `n - 1` would wrap to
+/// UINT64_MAX and the injector would effectively never fire.
 class CrashAtEventInjector : public CountdownFaultInjector {
  public:
-  explicit CrashAtEventInjector(uint64_t n) : CountdownFaultInjector(n - 1) {}
+  explicit CrashAtEventInjector(uint64_t n)
+      : CountdownFaultInjector(n == 0 ? 0 : n - 1) {}
 };
 
 }  // namespace llb

@@ -1,0 +1,182 @@
+#include "io/faulty_env.h"
+
+#include <utility>
+
+namespace llb {
+
+FaultPolicy::~FaultPolicy() = default;
+
+FaultAction ScriptedFaultPolicy::OnOp(FaultOp op, const std::string& file) {
+  for (FaultPoint& point : points_) {
+    if (point.countdown == 0) continue;  // already fired
+    if (point.op != op) continue;
+    if (!point.file_substring.empty() &&
+        file.find(point.file_substring) == std::string::npos) {
+      continue;
+    }
+    if (--point.countdown == 0) {
+      ++fired_;
+      return point.action;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+FaultAction RandomFaultPolicy::OnOp(FaultOp op, const std::string& file) {
+  if (!file_substring_.empty() &&
+      file.find(file_substring_) == std::string::npos) {
+    return FaultAction::kNone;
+  }
+  switch (op) {
+    case FaultOp::kReadAt:
+      if (rng_.Bernoulli(p_.read_error)) return FaultAction::kFail;
+      if (rng_.Bernoulli(p_.read_corrupt)) return FaultAction::kCorrupt;
+      return FaultAction::kNone;
+    case FaultOp::kWriteAt:
+      return rng_.Bernoulli(p_.write_error) ? FaultAction::kFail
+                                            : FaultAction::kNone;
+    case FaultOp::kAppend:
+      return rng_.Bernoulli(p_.append_error) ? FaultAction::kFail
+                                             : FaultAction::kNone;
+    case FaultOp::kSync:
+      return rng_.Bernoulli(p_.sync_error) ? FaultAction::kFail
+                                           : FaultAction::kNone;
+  }
+  return FaultAction::kNone;
+}
+
+namespace {
+
+/// Flips one bit near the middle of `data` — enough to break a page or
+/// record checksum while staying silent at the IO layer.
+void FlipOneBit(std::string* data) {
+  if (data->empty()) return;
+  (*data)[data->size() / 2] ^= 0x10;
+}
+
+}  // namespace
+
+/// Wraps a base file, consulting the env's policy before each operation.
+class FaultyFile : public File {
+ public:
+  FaultyFile(FaultyEnv* env, std::string name, std::shared_ptr<File> base)
+      : env_(env), name_(std::move(name)), base_(std::move(base)) {}
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    switch (env_->Decide(FaultOp::kReadAt, name_)) {
+      case FaultAction::kFail:
+        return Status::IoError("injected transient read fault: " + name_);
+      case FaultAction::kCorrupt: {
+        size_t before = out->size();
+        LLB_RETURN_IF_ERROR(base_->ReadAt(offset, n, out));
+        if (out->size() > before) {
+          (*out)[before + (out->size() - before) / 2] ^= 0x10;
+        }
+        return Status::OK();
+      }
+      case FaultAction::kNone:
+        break;
+    }
+    return base_->ReadAt(offset, n, out);
+  }
+
+  Status WriteAt(uint64_t offset, Slice data) override {
+    switch (env_->Decide(FaultOp::kWriteAt, name_)) {
+      case FaultAction::kFail:
+        return Status::IoError("injected transient write fault: " + name_);
+      case FaultAction::kCorrupt: {
+        std::string rotten = data.ToString();
+        FlipOneBit(&rotten);
+        return base_->WriteAt(offset, Slice(rotten));
+      }
+      case FaultAction::kNone:
+        break;
+    }
+    return base_->WriteAt(offset, data);
+  }
+
+  Status Append(Slice data) override {
+    switch (env_->Decide(FaultOp::kAppend, name_)) {
+      case FaultAction::kFail:
+        return Status::IoError("injected transient append fault: " + name_);
+      case FaultAction::kCorrupt: {
+        std::string rotten = data.ToString();
+        FlipOneBit(&rotten);
+        return base_->Append(Slice(rotten));
+      }
+      case FaultAction::kNone:
+        break;
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (env_->Decide(FaultOp::kSync, name_) == FaultAction::kFail) {
+      return Status::IoError("injected transient sync fault: " + name_);
+    }
+    return base_->Sync();
+  }
+
+  Result<uint64_t> Size() const override { return base_->Size(); }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+ private:
+  FaultyEnv* const env_;
+  const std::string name_;
+  const std::shared_ptr<File> base_;
+};
+
+Result<std::shared_ptr<File>> FaultyEnv::OpenFile(const std::string& name,
+                                                  bool create) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> base,
+                       base_->OpenFile(name, create));
+  return std::shared_ptr<File>(
+      std::make_shared<FaultyFile>(this, name, std::move(base)));
+}
+
+Status FaultyEnv::DeleteFile(const std::string& name) {
+  return base_->DeleteFile(name);
+}
+
+bool FaultyEnv::FileExists(const std::string& name) const {
+  return base_->FileExists(name);
+}
+
+std::vector<std::string> FaultyEnv::ListFiles() const {
+  return base_->ListFiles();
+}
+
+void FaultyEnv::SetPolicy(FaultPolicy* policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = policy;
+}
+
+FaultyEnvStats FaultyEnv::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FaultAction FaultyEnv::Decide(FaultOp op, const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (policy_ == nullptr) return FaultAction::kNone;
+  FaultAction action = policy_->OnOp(op, file);
+  switch (action) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kCorrupt:
+      ++stats_.corruptions;
+      break;
+    case FaultAction::kFail:
+      switch (op) {
+        case FaultOp::kReadAt: ++stats_.read_faults; break;
+        case FaultOp::kWriteAt: ++stats_.write_faults; break;
+        case FaultOp::kAppend: ++stats_.append_faults; break;
+        case FaultOp::kSync: ++stats_.sync_faults; break;
+      }
+      break;
+  }
+  return action;
+}
+
+}  // namespace llb
