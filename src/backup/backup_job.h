@@ -114,6 +114,15 @@ class BackupJob {
   /// into already-copied regions identity-logged.
   Result<BackupManifest> Resume(const std::string& name);
 
+  /// Locked copy of the stats, safe to call while Run/RunIncremental/
+  /// Resume is still executing on other threads (parallel partitions
+  /// update the counters under stats_mu_).
+  BackupJobStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+  /// Unlocked reference; only valid once the job has returned.
   const BackupJobStats& stats() const { return stats_; }
 
  private:
@@ -146,7 +155,7 @@ class BackupJob {
   const uint32_t pages_per_partition_;
   const BackupJobOptions options_;
   std::mutex cursor_mu_;
-  std::mutex stats_mu_;
+  mutable std::mutex stats_mu_;
   BackupJobStats stats_;
 };
 

@@ -374,6 +374,11 @@ CacheStats CacheManager::stats() const {
   return stats_;
 }
 
+WriteGraphStats CacheManager::GraphStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_->GetStats();
+}
+
 void CacheManager::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = CacheStats{};

@@ -125,6 +125,12 @@ class CacheManager {
   CacheStats stats() const;
   void ResetStats();
 
+  /// Write-graph counters under the cache mutex: the graph mutates inside
+  /// ExecuteOp/flush (which hold mu_), so an unlocked GetStats from a
+  /// monitoring thread would race.
+  WriteGraphStats GraphStats() const;
+
+  /// Unlocked reference; callers must not race with operations/flushes.
   const WriteGraph& graph() const { return *graph_; }
   size_t CachedPageCount() const;
   bool IsDirty(const PageId& id) const;

@@ -178,7 +178,7 @@ DbStats Database::GatherStats() const {
   DbStats stats;
   stats.cache = cache_->stats();
   stats.log = log_->stats();
-  stats.graph = cache_->graph().GetStats();
+  stats.graph = cache_->GraphStats();
   stats.backups_taken = backups_taken_;
   stats.backup_pages_copied = backup_pages_copied_;
   stats.backup_fence_updates = backup_fence_updates_;

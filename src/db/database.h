@@ -1,6 +1,7 @@
 #ifndef LLB_DB_DATABASE_H_
 #define LLB_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -165,9 +166,11 @@ class Database {
   IncrementalTracker tracker_;
   std::unique_ptr<CacheManager> cache_;
 
-  uint64_t backups_taken_ = 0;
-  uint64_t backup_pages_copied_ = 0;
-  uint64_t backup_fence_updates_ = 0;
+  /// Atomics: updated by whichever thread runs a backup, read by
+  /// GatherStats from concurrent foreground/monitoring threads.
+  std::atomic<uint64_t> backups_taken_{0};
+  std::atomic<uint64_t> backup_pages_copied_{0};
+  std::atomic<uint64_t> backup_fence_updates_{0};
 };
 
 }  // namespace llb

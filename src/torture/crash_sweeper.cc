@@ -1,0 +1,492 @@
+#include "torture/crash_sweeper.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "filestore/filestore.h"
+#include "io/fault_env.h"
+#include "torture/torture_util.h"
+
+namespace llb {
+
+using torture::ClearRestoreMarker;
+using torture::kRestoreMarker;
+using torture::OfflineRestore;
+using torture::SetRestoreMarker;
+using torture::VerifyOpenDb;
+using torture::VerifyStableOffline;
+using torture::WipeStable;
+
+namespace {
+
+/// Backup names every scenario uses, so salvage knows what to look for.
+constexpr char kFullName[] = "tbk_full";
+constexpr char kIncrName[] = "tbk_incr";
+
+/// The update activity a scenario interleaves with its backup pipeline.
+/// Deterministic for a given seed and call sequence.
+class ScenarioWorkload {
+ public:
+  virtual ~ScenarioWorkload() = default;
+  virtual Status Setup() = 0;
+  virtual Status Update(uint32_t steps) = 0;
+};
+
+/// Logically-split B-tree inserts (tree operations, BackupPolicy::kTree).
+class BtreeScenarioWorkload : public ScenarioWorkload {
+ public:
+  BtreeScenarioWorkload(Database* db, uint64_t seed)
+      : db_(db),
+        tree_(db, /*partition=*/0, /*meta_page=*/0, SplitLogging::kLogical),
+        next_(seed * 31) {}
+
+  Status Setup() override { return tree_.Create(); }
+
+  Status Update(uint32_t steps) override {
+    for (uint32_t i = 0; i < steps; ++i, ++next_) {
+      int64_t key = static_cast<int64_t>((next_ * 53) % 4001);
+      LLB_RETURN_IF_ERROR(tree_.Insert(key, Slice("t")));
+      if (next_ % 5 == 4) LLB_RETURN_IF_ERROR(db_->FlushAll());
+    }
+    return db_->FlushAll();
+  }
+
+ private:
+  Database* const db_;
+  BTree tree_;
+  uint64_t next_;
+};
+
+/// General logical operations: one-page file Copy (logging only operand
+/// ids) plus in-place Transforms (BackupPolicy::kGeneral).
+class GeneralScenarioWorkload : public ScenarioWorkload {
+ public:
+  GeneralScenarioWorkload(Database* db, uint32_t num_pages, uint64_t seed)
+      : db_(db),
+        files_(db, /*partition=*/0, /*base_page=*/0, /*pages_per_file=*/1,
+               num_pages),
+        rng_(seed),
+        num_pages_(num_pages) {}
+
+  Status Setup() override {
+    for (uint32_t f = 0; f < 4 && f < num_pages_; ++f) {
+      LLB_RETURN_IF_ERROR(
+          files_.WriteValues(f, {static_cast<int64_t>(f) + 7, 3, 11}));
+    }
+    return db_->FlushAll();
+  }
+
+  Status Update(uint32_t steps) override {
+    for (uint32_t i = 0; i < steps; ++i) {
+      uint32_t src = static_cast<uint32_t>(rng_.Uniform(num_pages_));
+      uint32_t dst = static_cast<uint32_t>(rng_.Uniform(num_pages_));
+      if (dst == src) dst = (dst + 1) % num_pages_;
+      LLB_RETURN_IF_ERROR(files_.Copy(src, dst));
+      LLB_RETURN_IF_ERROR(db_->FlushPage(files_.PagesOf(dst)[0]));
+      if (i % 3 == 2) {
+        LLB_RETURN_IF_ERROR(files_.Transform(dst, rng_.Next()));
+      }
+    }
+    return db_->FlushAll();
+  }
+
+ private:
+  Database* const db_;
+  FileStore files_;
+  Random rng_;
+  const uint32_t num_pages_;
+};
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kBackup:
+      return "backup";
+    case ScenarioKind::kResume:
+      return "resume";
+    case ScenarioKind::kScrub:
+      return "scrub";
+    case ScenarioKind::kRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
+std::string CrashSweepReport::ToString() const {
+  return "events=" + std::to_string(total_events) +
+         " points=" + std::to_string(points_tested) +
+         " nested=" + std::to_string(nested_points_tested) +
+         " recoveries=" + std::to_string(recoveries_verified) +
+         " backups=" + std::to_string(backups_verified) +
+         " scrub_repairs=" + std::to_string(salvage_scrub_repairs) +
+         " restores=" + std::to_string(salvage_restores);
+}
+
+DbOptions CrashSweeper::MakeDbOptions() const {
+  DbOptions options;
+  options.partitions = scenario_.partitions;
+  options.pages_per_partition = scenario_.pages_per_partition;
+  options.cache_pages = scenario_.cache_pages;
+  options.graph = scenario_.graph;
+  options.backup_policy = scenario_.graph == WriteGraphKind::kTree
+                              ? BackupPolicy::kTree
+                              : BackupPolicy::kGeneral;
+  options.backup_steps = scenario_.backup_steps;
+  return options;
+}
+
+namespace {
+
+std::unique_ptr<ScenarioWorkload> MakeWorkload(Database* db,
+                                               const ScenarioOptions& s) {
+  if (s.graph == WriteGraphKind::kTree) {
+    return std::make_unique<BtreeScenarioWorkload>(db, s.seed);
+  }
+  return std::make_unique<GeneralScenarioWorkload>(
+      db, std::min<uint32_t>(s.pages_per_partition, 24), s.seed);
+}
+
+/// True iff a backup called `name` finished before the crash (a torn
+/// final manifest save reverts to the durable incomplete version, so a
+/// load failure here is a real error, not a crash artifact).
+Result<bool> ChainComplete(TortureEngine* e, const std::string& name) {
+  if (!e->env.FileExists(name + ".manifest")) return false;
+  Result<BackupManifest> manifest = BackupManifest::Load(&e->env, name);
+  if (!manifest.ok()) {
+    // A crash before the manifest's first durable save leaves the file
+    // present but with its contents reverted to nothing (MemEnv keeps
+    // file existence across crashes, not unsynced bytes): the backup
+    // never completed. Real IO failures still propagate.
+    if (manifest.status().IsCorruption()) return false;
+    return manifest.status();
+  }
+  return manifest->complete;
+}
+
+/// Verifies every completed backup chain end to end: scrub-verify (with
+/// repair when the crash left injected rot unrepaired), then a full
+/// off-line media recovery checked against the oracle. Leaves the engine
+/// open. Incomplete backups are deliberately ignored: Resume's fence
+/// precondition does not survive a process crash.
+Status VerifyCompletedChains(TortureEngine* e, CrashSweepReport* report) {
+  LLB_ASSIGN_OR_RETURN(bool incr_ok, ChainComplete(e, kIncrName));
+  std::string chain;
+  if (incr_ok) {
+    chain = kIncrName;
+  } else {
+    LLB_ASSIGN_OR_RETURN(bool full_ok, ChainComplete(e, kFullName));
+    if (full_ok) chain = kFullName;
+  }
+  if (chain.empty()) return Status::OK();
+
+  LLB_ASSIGN_OR_RETURN(ScrubReport verify, e->db->VerifyBackup(chain));
+  if (!verify.clean()) {
+    LLB_ASSIGN_OR_RETURN(ScrubReport repair, e->db->ScrubBackup(chain));
+    if (!repair.fully_repaired()) {
+      return Status::Internal("salvage scrub failed to repair chain " + chain);
+    }
+    ++report->salvage_scrub_repairs;
+  }
+
+  e->Shutdown();
+  LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
+  LLB_RETURN_IF_ERROR(WipeStable(e));
+  LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn));
+  LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
+  LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+  LLB_RETURN_IF_ERROR(e->Open());
+  ++report->backups_verified;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CrashSweeper::RunScenario(TortureEngine* e) const {
+  Database* db = e->db.get();
+  std::unique_ptr<ScenarioWorkload> workload = MakeWorkload(db, scenario_);
+  LLB_RETURN_IF_ERROR(workload->Setup());
+  LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_pre));
+  LLB_RETURN_IF_ERROR(db->Checkpoint());
+
+  switch (scenario_.kind) {
+    case ScenarioKind::kBackup: {
+      BackupJobOptions job;
+      job.steps = scenario_.backup_steps;
+      job.mid_step = [&](PartitionId, uint32_t) {
+        return workload->Update(scenario_.updates_mid);
+      };
+      LLB_ASSIGN_OR_RETURN(BackupManifest full,
+                           db->TakeBackupWithOptions(kFullName, job));
+      if (!full.complete) return Status::Internal("full backup incomplete");
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("incremental backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      return db->ForceLog();
+    }
+
+    case ScenarioKind::kResume: {
+      // A transient write fault lands the sweep mid-partition; the
+      // countdown targets the second of `backup_steps` steps.
+      uint64_t abort_at = scenario_.pages_per_partition / 4 + 2;
+      ScriptedFaultPolicy abort_policy(
+          {{FaultOp::kWriteAt, std::string(kFullName) + ".pages", abort_at,
+            FaultAction::kFail}});
+      e->env.SetPolicy(&abort_policy);
+      Result<BackupManifest> run =
+          db->TakeBackup(kFullName, scenario_.backup_steps);
+      e->env.SetPolicy(nullptr);
+      if (run.ok()) {
+        return Status::Internal("scripted abort fault did not fire");
+      }
+      // A scheduled crash can beat the scripted abort; tell them apart by
+      // whether the env is now rejecting all IO.
+      if (e->base.io_blocked()) return run.status();
+      // Update activity between abort and resume: the fences stayed up,
+      // so flushes into already-copied regions keep being identity-logged.
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest resumed,
+                           db->ResumeBackup(kFullName));
+      if (!resumed.complete) {
+        return Status::Internal("resumed backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      return db->ForceLog();
+    }
+
+    case ScenarioKind::kScrub: {
+      // Silent bit-flip on the second page written into B (page 1 always
+      // carries real data; higher pages may be checksum-exempt zeros).
+      ScriptedFaultPolicy rot_policy(
+          {{FaultOp::kWriteAt, std::string(kFullName) + ".pages", 2,
+            FaultAction::kCorrupt}});
+      e->env.SetPolicy(&rot_policy);
+      Result<BackupManifest> run =
+          db->TakeBackup(kFullName, scenario_.backup_steps);
+      e->env.SetPolicy(nullptr);
+      if (!run.ok()) return run.status();  // scheduled crash mid-sweep
+      if (rot_policy.fired() != 1) {
+        return Status::Internal("scripted rot fault did not fire");
+      }
+      LLB_ASSIGN_OR_RETURN(ScrubReport verify, db->VerifyBackup(kFullName));
+      if (verify.clean()) return Status::Internal("bit rot not detected");
+      LLB_ASSIGN_OR_RETURN(ScrubReport repair, db->ScrubBackup(kFullName));
+      if (!repair.fully_repaired()) {
+        return Status::Internal("scrub failed to repair the backup");
+      }
+      LLB_ASSIGN_OR_RETURN(ScrubReport again, db->VerifyBackup(kFullName));
+      if (!again.clean()) {
+        return Status::Internal("backup still dirty after scrub");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      return db->ForceLog();
+    }
+
+    case ScenarioKind::kRestore: {
+      LLB_ASSIGN_OR_RETURN(BackupManifest full,
+                           db->TakeBackup(kFullName, scenario_.backup_steps));
+      if (!full.complete) return Status::Internal("full backup incomplete");
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("incremental backup incomplete");
+      }
+      Lsn pitr_lsn = incr.end_lsn;
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_RETURN_IF_ERROR(db->ForceLog());
+
+      // Simulated media failure + off-line recovery, twice: first a
+      // point-in-time restore to the incremental's end, checked against a
+      // log-prefix oracle, then a full roll-forward to the end of the log.
+      e->Shutdown();
+      LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
+      LLB_RETURN_IF_ERROR(WipeStable(e));
+      LLB_RETURN_IF_ERROR(OfflineRestore(e, kIncrName, pitr_lsn));
+      LLB_RETURN_IF_ERROR(VerifyStableOffline(e, pitr_lsn));
+      LLB_RETURN_IF_ERROR(OfflineRestore(e, kIncrName, kInvalidLsn));
+      LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
+      LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+      return e->Open();
+    }
+  }
+  return Status::Internal("unknown scenario kind");
+}
+
+Status CrashSweeper::Salvage(TortureEngine* e,
+                             CrashSweepReport* report) const {
+  if (e->env.FileExists(kRestoreMarker)) {
+    // The crash hit while S was being overwritten from B. Plain crash
+    // redo cannot rebuild a half-copied store, but off-line restore is
+    // restartable: re-copy the chain and roll forward to the end of the
+    // durable log.
+    LLB_ASSIGN_OR_RETURN(bool incr_ok, ChainComplete(e, kIncrName));
+    std::string chain = kIncrName;
+    if (!incr_ok) {
+      LLB_ASSIGN_OR_RETURN(bool full_ok, ChainComplete(e, kFullName));
+      if (!full_ok) {
+        return Status::Internal("restore marker without a complete chain");
+      }
+      chain = kFullName;
+    }
+    LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn));
+    LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
+    LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+    ++report->salvage_restores;
+    ++report->backups_verified;
+    LLB_RETURN_IF_ERROR(e->Open());
+    LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
+    ++report->recoveries_verified;
+    return Status::OK();
+  }
+
+  LLB_RETURN_IF_ERROR(e->Open());
+  LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
+  ++report->recoveries_verified;
+  return VerifyCompletedChains(e, report);
+}
+
+Status CrashSweeper::CrashScenarioAt(TortureEngine* e, uint64_t k) const {
+  LLB_RETURN_IF_ERROR(e->Open());
+  CrashAtEventInjector injector(k);
+  e->base.SetFaultInjector(&injector);
+  Status s = RunScenario(e);
+  bool crashed = e->base.io_blocked();
+  if (!crashed) {
+    e->base.SetFaultInjector(nullptr);
+    if (s.ok()) {
+      return Status::Internal("crash at event " + std::to_string(k) +
+                              " never fired");
+    }
+    return Status::Internal("scenario failed before the scheduled crash at " +
+                            std::to_string(k) + ": " + s.ToString());
+  }
+  e->Shutdown();
+  e->base.CrashAndRestart();  // clears the injector reference
+  return Status::OK();
+}
+
+Status CrashSweeper::RunPrimaryPoint(uint64_t k,
+                                     CrashSweepReport* report) const {
+  TortureEngine engine(MakeDbOptions());
+  LLB_RETURN_IF_ERROR(CrashScenarioAt(&engine, k));
+  Status s = Salvage(&engine, report);
+  if (!s.ok()) {
+    return Status::Internal(std::string(ScenarioKindName(scenario_.kind)) +
+                            " scenario, crash point " + std::to_string(k) +
+                            ": " + s.ToString());
+  }
+  return Status::OK();
+}
+
+Status CrashSweeper::RunNestedPoints(uint64_t k, const SweepOptions& options,
+                                     CrashSweepReport* report) const {
+  // Measure the salvage sequence that follows a crash at event k.
+  uint64_t salvage_events = 0;
+  {
+    TortureEngine engine(MakeDbOptions());
+    LLB_RETURN_IF_ERROR(CrashScenarioAt(&engine, k));
+    RecordingInjector recorder;
+    engine.base.SetFaultInjector(&recorder);
+    CrashSweepReport scratch;
+    Status s = Salvage(&engine, &scratch);
+    engine.base.SetFaultInjector(nullptr);
+    if (!s.ok()) {
+      return Status::Internal("recording salvage failed at crash point " +
+                              std::to_string(k) + ": " + s.ToString());
+    }
+    salvage_events = recorder.count();
+  }
+  if (salvage_events == 0) return Status::OK();
+
+  uint64_t stride = options.nested_max_points == 0
+                        ? 1
+                        : salvage_events / options.nested_max_points + 1;
+  for (uint64_t j = 1; j <= salvage_events; j += stride) {
+    TortureEngine engine(MakeDbOptions());
+    LLB_RETURN_IF_ERROR(CrashScenarioAt(&engine, k));
+    CrashAtEventInjector nested(j);
+    engine.base.SetFaultInjector(&nested);
+    CrashSweepReport scratch;
+    Status s = Salvage(&engine, &scratch);
+    bool crashed = engine.base.io_blocked();
+    if (!crashed) {
+      engine.base.SetFaultInjector(nullptr);
+      return Status::Internal(
+          "salvage at crash point " + std::to_string(k) +
+          (s.ok() ? " finished without the nested crash at event "
+                  : " failed before the nested crash at event ") +
+          std::to_string(j) + (s.ok() ? "" : ": " + s.ToString()));
+    }
+    engine.Shutdown();
+    engine.base.CrashAndRestart();
+    Status final_salvage = Salvage(&engine, report);
+    if (!final_salvage.ok()) {
+      return Status::Internal(std::string(ScenarioKindName(scenario_.kind)) +
+                              " scenario, crash point " + std::to_string(k) +
+                              ", nested crash " + std::to_string(j) + ": " +
+                              final_salvage.ToString());
+    }
+    ++report->nested_points_tested;
+  }
+  return Status::OK();
+}
+
+Result<CrashSweepReport> CrashSweeper::Sweep(const SweepOptions& options) {
+  CrashSweepReport report;
+
+  // 1. Clean recording run: learn N and verify the fault-free end state.
+  {
+    TortureEngine engine(MakeDbOptions());
+    LLB_RETURN_IF_ERROR(engine.Open());
+    RecordingInjector recorder;
+    engine.base.SetFaultInjector(&recorder);
+    Status s = RunScenario(&engine);
+    engine.base.SetFaultInjector(nullptr);
+    if (!s.ok()) {
+      return Status::Internal("clean scenario run failed: " + s.ToString());
+    }
+    report.total_events = recorder.count();
+    LLB_RETURN_IF_ERROR(VerifyOpenDb(&engine));
+    LLB_RETURN_IF_ERROR(VerifyCompletedChains(&engine, &report));
+  }
+  if (report.total_events == 0) {
+    return Status::Internal("scenario produced no durability events");
+  }
+
+  // 2. Primary sweep: crash at every chosen event.
+  uint64_t stride = options.max_points == 0
+                        ? 1
+                        : report.total_events / options.max_points + 1;
+  for (uint64_t k = 1; k <= report.total_events; k += stride) {
+    if (options.progress) {
+      options.progress("crash point " + std::to_string(k) + "/" +
+                       std::to_string(report.total_events));
+    }
+    LLB_RETURN_IF_ERROR(RunPrimaryPoint(k, &report));
+    ++report.points_tested;
+  }
+
+  // 3. Nested sweep: crash the recovery that follows chosen crashes.
+  if (options.nested_primary_points > 0) {
+    uint64_t primary_stride =
+        report.total_events / options.nested_primary_points + 1;
+    for (uint64_t k = primary_stride / 2 + 1; k <= report.total_events;
+         k += primary_stride) {
+      if (options.progress) {
+        options.progress("nested sweep at crash point " + std::to_string(k));
+      }
+      LLB_RETURN_IF_ERROR(RunNestedPoints(k, options, &report));
+    }
+  }
+  return report;
+}
+
+}  // namespace llb

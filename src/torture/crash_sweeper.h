@@ -1,0 +1,137 @@
+#ifndef LLB_TORTURE_CRASH_SWEEPER_H_
+#define LLB_TORTURE_CRASH_SWEEPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "torture/torture_util.h"
+
+namespace llb {
+
+/// The pipeline stage mix a crash sweep exercises. Every scenario is a
+/// deterministic end-to-end script: workload -> checkpoint -> backup
+/// machinery -> more workload, with scenario-specific fault seasoning.
+enum class ScenarioKind {
+  /// Full backup with mid-step updates (Doubt-window flushes), then an
+  /// incremental chained to it, then post-backup updates.
+  kBackup,
+  /// A scripted transient write fault aborts the sweep mid-partition;
+  /// updates run while the fences are still up; Resume completes the
+  /// backup from its durable cursor.
+  kResume,
+  /// A scripted silent bit-flip rots one backup page during the sweep;
+  /// VerifyBackup detects it and ScrubBackup repairs it from S under the
+  /// fence protocol.
+  kScrub,
+  /// Full + incremental chain, shutdown, wipe of S, point-in-time restore
+  /// (verified against a log-prefix oracle), then full restore to the end
+  /// of the log and reopen.
+  kRestore,
+};
+
+const char* ScenarioKindName(ScenarioKind kind);
+
+/// Geometry and workload knobs of one torture scenario. Everything is
+/// deterministic for a given options value: re-running a scenario replays
+/// the identical durability-event sequence, which is what lets the
+/// sweeper crash at event k of run j and know the pre-crash state.
+struct ScenarioOptions {
+  ScenarioKind kind = ScenarioKind::kBackup;
+  /// Varies workload keys/choices; the dbtool entry point exposes it so
+  /// a failing sweep is reproducible from the command line.
+  uint64_t seed = 1;
+  /// kTree runs a logically-split B-tree workload under BackupPolicy
+  /// kTree; anything else runs general logical ops (FileStore Copy /
+  /// Transform) under BackupPolicy kGeneral.
+  WriteGraphKind graph = WriteGraphKind::kTree;
+  uint32_t partitions = 1;
+  /// Workload size is the event-count throttle: sweeps are quadratic in
+  /// the scenario's durability events, so CI scenarios stay small.
+  uint32_t pages_per_partition = 32;
+  uint32_t cache_pages = 16;
+  uint32_t backup_steps = 4;
+  uint32_t updates_pre = 20;   // workload steps before the first backup
+  uint32_t updates_mid = 2;    // workload steps per backup mid-step hook
+  uint32_t updates_post = 8;   // workload steps after each backup
+};
+
+/// How exhaustively to sweep.
+struct SweepOptions {
+  /// Cap on primary crash points (0 = every durability event).
+  uint64_t max_points = 0;
+  /// Number of primary crash points that additionally get a *nested*
+  /// sweep: after the primary crash, the recovery/salvage sequence is
+  /// itself measured and crashed at its own durability events (0 = no
+  /// nested crashes).
+  uint64_t nested_primary_points = 0;
+  /// Cap on nested crash points per chosen primary point (0 = every).
+  uint64_t nested_max_points = 0;
+  /// Optional progress sink (dbtool wires this to stdout).
+  std::function<void(const std::string&)> progress;
+};
+
+struct CrashSweepReport {
+  uint64_t total_events = 0;          // durability events of the clean run
+  uint64_t points_tested = 0;         // primary crash points executed
+  uint64_t nested_points_tested = 0;  // nested (second-crash) points
+  uint64_t recoveries_verified = 0;   // post-crash S == oracle checks
+  uint64_t backups_verified = 0;      // completed chains restored + checked
+  uint64_t salvage_scrub_repairs = 0; // rotten chains repaired in salvage
+  uint64_t salvage_restores = 0;      // mid-restore crashes re-restored
+
+  std::string ToString() const;
+};
+
+/// Enumerates crash points of one pipeline scenario:
+///
+///   1. run the scenario once under a RecordingInjector -> N durability
+///      events, and verify the final state (S and every completed backup
+///      chain) against the full-log oracle;
+///   2. for each chosen k in [1, N]: re-run with CrashAtEventInjector(k),
+///      crash-restart, then *salvage*: recover, verify S against the
+///      oracle, and verify/repair/restore any completed backup chain;
+///   3. optionally, for chosen primary points, measure the salvage
+///      sequence's own M durability events and re-crash at each chosen
+///      j in [1, M] (crash during recovery / scrub repair), salvaging
+///      again after the nested crash.
+///
+/// Salvage never resumes an incomplete backup across a crash: the fences
+/// that kept Resume sound live in memory and died with the process (see
+/// BackupJob::Resume), so an interrupted sweep is abandoned and only
+/// *completed* chains are required to restore.
+class CrashSweeper {
+ public:
+  explicit CrashSweeper(ScenarioOptions scenario) : scenario_(scenario) {}
+
+  CrashSweeper(const CrashSweeper&) = delete;
+  CrashSweeper& operator=(const CrashSweeper&) = delete;
+
+  Result<CrashSweepReport> Sweep(const SweepOptions& options);
+
+ private:
+  DbOptions MakeDbOptions() const;
+
+  /// Executes the scenario pipeline on an open engine. Every IO error
+  /// bubbles out; the caller tells a scheduled crash (env blocked) from a
+  /// genuine failure.
+  Status RunScenario(TortureEngine* engine) const;
+
+  /// Post-crash recovery + verification. Called with the engine freshly
+  /// crash-restarted (database closed). On success the engine is left
+  /// open and verified.
+  Status Salvage(TortureEngine* engine, CrashSweepReport* report) const;
+
+  /// Runs the scenario to the scheduled crash at event `k` and restarts.
+  Status CrashScenarioAt(TortureEngine* engine, uint64_t k) const;
+
+  Status RunPrimaryPoint(uint64_t k, CrashSweepReport* report) const;
+  Status RunNestedPoints(uint64_t k, const SweepOptions& options,
+                         CrashSweepReport* report) const;
+
+  const ScenarioOptions scenario_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_TORTURE_CRASH_SWEEPER_H_

@@ -1,0 +1,98 @@
+#include "torture/torture_util.h"
+
+#include "recovery/media_recovery.h"
+#include "sim/harness.h"
+#include "sim/oracle.h"
+
+namespace llb {
+
+Status TortureEngine::Open() {
+  LLB_ASSIGN_OR_RETURN(db, Database::Open(&env, name, options));
+  RegisterAllOps(db->registry());
+  return db->Recover();
+}
+
+namespace torture {
+
+Status SetRestoreMarker(Env* env) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> f,
+                       env->OpenFile(kRestoreMarker, /*create=*/true));
+  LLB_RETURN_IF_ERROR(f->WriteAt(0, Slice("R")));
+  return f->Sync();
+}
+
+Status ClearRestoreMarker(Env* env) {
+  if (!env->FileExists(kRestoreMarker)) return Status::OK();
+  return env->DeleteFile(kRestoreMarker);
+}
+
+Status VerifyOpenDb(TortureEngine* e) {
+  std::string prefix = "oracle_t" + std::to_string(e->oracle_seq++);
+  std::unique_ptr<PageStore> oracle;
+  LLB_RETURN_IF_ERROR(testutil::BuildOracle(&e->env, *e->db->log(),
+                                            *e->db->registry(), prefix,
+                                            e->options.partitions, &oracle));
+  std::string diff =
+      testutil::DiffStores(*e->db->stable(), *oracle, e->options.partitions,
+                           e->options.pages_per_partition);
+  if (!diff.empty()) {
+    return Status::Internal("stable state differs from oracle at page " +
+                            diff);
+  }
+  return Status::OK();
+}
+
+Status VerifyStableOffline(TortureEngine* e, Lsn end_lsn) {
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  LLB_ASSIGN_OR_RETURN(std::unique_ptr<LogManager> log,
+                       LogManager::Open(&e->env, Database::LogName(e->name)));
+  std::string prefix = "oracle_t" + std::to_string(e->oracle_seq++);
+  std::unique_ptr<PageStore> oracle;
+  LLB_ASSIGN_OR_RETURN(oracle,
+                       PageStore::Open(&e->env, prefix, e->options.partitions));
+  LLB_ASSIGN_OR_RETURN(
+      RedoReport redo,
+      RunRedoRange(*log, registry, oracle.get(), /*start_lsn=*/1, end_lsn,
+                   /*only_partition=*/nullptr, /*use_identity_seeds=*/false));
+  (void)redo;
+  LLB_ASSIGN_OR_RETURN(std::unique_ptr<PageStore> stable,
+                       PageStore::Open(&e->env, Database::StableName(e->name),
+                                       e->options.partitions));
+  std::string diff =
+      testutil::DiffStores(*stable, *oracle, e->options.partitions,
+                           e->options.pages_per_partition);
+  if (!diff.empty()) {
+    return Status::Internal("restored state differs from oracle at page " +
+                            diff);
+  }
+  return Status::OK();
+}
+
+Status WipeStable(TortureEngine* e) {
+  LLB_ASSIGN_OR_RETURN(std::unique_ptr<PageStore> stable,
+                       PageStore::Open(&e->env, Database::StableName(e->name),
+                                       e->options.partitions));
+  for (PartitionId p = 0; p < e->options.partitions; ++p) {
+    LLB_RETURN_IF_ERROR(stable->WipePartition(p));
+  }
+  return Status::OK();
+}
+
+Status OfflineRestore(TortureEngine* e, const std::string& chain,
+                      Lsn stop_at_lsn) {
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  RestoreOptions options;
+  options.stop_at_lsn = stop_at_lsn;
+  LLB_ASSIGN_OR_RETURN(
+      MediaRecoveryReport report,
+      RestoreFromBackupWithOptions(&e->env, Database::StableName(e->name),
+                                   Database::LogName(e->name), chain, registry,
+                                   options));
+  (void)report;
+  return Status::OK();
+}
+
+}  // namespace torture
+}  // namespace llb

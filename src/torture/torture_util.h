@@ -1,0 +1,73 @@
+#ifndef LLB_TORTURE_TORTURE_UTIL_H_
+#define LLB_TORTURE_TORTURE_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "io/faulty_env.h"
+#include "io/mem_env.h"
+
+namespace llb {
+
+/// A Database opened over MemEnv wrapped in a FaultyEnv, so torture runs
+/// can combine both fault layers: MemEnv's FaultInjector schedules the
+/// *crash* (k-th durability event, then all IO fails until restart) while
+/// FaultyEnv's FaultPolicy injects *transient* faults (scripted aborts,
+/// silent bit-rot) that the pipeline is expected to absorb. TestEngine
+/// hardcodes a bare MemEnv, hence this second harness.
+struct TortureEngine {
+  MemEnv base;
+  FaultyEnv env{&base};
+  DbOptions options;
+  std::string name = "db";
+  std::unique_ptr<Database> db;
+  /// Monotonic suffix for oracle page-store prefixes: a PageStore opened
+  /// over an existing prefix sees the old pages, so every oracle built
+  /// within one env lifetime needs a fresh prefix.
+  uint64_t oracle_seq = 0;
+
+  explicit TortureEngine(const DbOptions& opts) : options(opts) {}
+
+  /// Opens (and crash-recovers) the database. Registers all domain ops.
+  Status Open();
+
+  /// Closes the database handle without a crash (volatile state of the
+  /// env is preserved; used before off-line media recovery).
+  void Shutdown() { db.reset(); }
+};
+
+namespace torture {
+
+/// Durable restore-in-progress marker. Written before S is wiped for an
+/// off-line restore and removed once the restored state verified; after a
+/// crash its presence tells salvage that S may be mid-restore garbage
+/// which plain crash redo cannot rebuild (the checkpoint's redo start
+/// point assumes the pre-crash S, not a half-copied one).
+inline constexpr char kRestoreMarker[] = "db.restoring";
+
+Status SetRestoreMarker(Env* env);
+Status ClearRestoreMarker(Env* env);
+
+/// Oracle check of the stable database while the engine is open: full-log
+/// re-execution from an empty store must equal S page for page.
+Status VerifyOpenDb(TortureEngine* engine);
+
+/// Oracle check with the database closed; `end_lsn` caps the replay for
+/// point-in-time restores (kInvalidLsn = whole log).
+Status VerifyStableOffline(TortureEngine* engine, Lsn end_lsn);
+
+/// Zeroes every partition of S (simulated media failure).
+Status WipeStable(TortureEngine* engine);
+
+/// Off-line media recovery from backup `chain` with roll-forward capped
+/// at `stop_at_lsn` (kInvalidLsn = end of log). Restartable: safe to
+/// re-run after a crash mid-restore.
+Status OfflineRestore(TortureEngine* engine, const std::string& chain,
+                      Lsn stop_at_lsn);
+
+}  // namespace torture
+}  // namespace llb
+
+#endif  // LLB_TORTURE_TORTURE_UTIL_H_

@@ -15,12 +15,15 @@
 //                                           manifest chain of a backup
 //   llb_dbtool scrub <image> <bk> <db>      verify + repair bad backup pages
 //                                           from S / the log, rewrite image
+//   llb_dbtool torture [scenario] [seed]    crash-point sweep of a pipeline
+//                                           scenario (no image; in-memory)
 //
 // The image format is a length-prefixed list of (name, contents) pairs of
 // every file in the env (durable contents only by construction: images
 // are saved from a fresh env or after recovery).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -34,6 +37,8 @@
 #include "recovery/media_recovery.h"
 #include "sim/harness.h"
 #include "sim/oracle.h"
+#include "torture/concurrent_torture.h"
+#include "torture/crash_sweeper.h"
 #include "wal/log_manager.h"
 
 namespace llb::dbtool {
@@ -391,6 +396,93 @@ int CmdDemo(const std::string& path) {
   return 0;
 }
 
+// ---------- torture ----------
+
+int Usage();
+
+int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
+                uint64_t nested_points) {
+  ScenarioOptions scenario;
+  scenario.kind = kind;
+  scenario.seed = seed;
+  // Backup and restore sweep the general-operation path; resume and scrub
+  // sweep the tree path, matching the coverage split in torture_test.cc.
+  scenario.graph =
+      (kind == ScenarioKind::kResume || kind == ScenarioKind::kScrub)
+          ? WriteGraphKind::kTree
+          : WriteGraphKind::kGeneral;
+
+  SweepOptions sweep;
+  sweep.max_points = max_points;
+  sweep.nested_primary_points = nested_points;
+  sweep.nested_max_points = nested_points == 0 ? 0 : 8;
+  uint64_t lines = 0;
+  sweep.progress = [&](const std::string& message) {
+    if (lines++ % 16 == 0) {
+      printf("  [%s] %s\n", ScenarioKindName(kind), message.c_str());
+    }
+  };
+
+  printf("sweeping %s scenario (seed=%llu)...\n", ScenarioKindName(kind),
+         static_cast<unsigned long long>(seed));
+  CrashSweeper sweeper(scenario);
+  auto report_or = sweeper.Sweep(sweep);
+  if (!report_or.ok()) {
+    fprintf(stderr, "%s sweep FAILED: %s\n", ScenarioKindName(kind),
+            report_or.status().ToString().c_str());
+    return 1;
+  }
+  printf("%s sweep OK: %s\n", ScenarioKindName(kind),
+         report_or->ToString().c_str());
+  return 0;
+}
+
+int RunConcurrent(uint64_t seed) {
+  ConcurrentTortureOptions options;
+  options.seed = seed;
+  printf("running concurrent torture (seed=%llu)...\n",
+         static_cast<unsigned long long>(seed));
+  auto report_or = RunConcurrentTorture(options);
+  if (!report_or.ok()) {
+    fprintf(stderr, "concurrent torture FAILED: %s\n",
+            report_or.status().ToString().c_str());
+    return 1;
+  }
+  printf("concurrent torture OK: %s\n", report_or->ToString().c_str());
+  return 0;
+}
+
+int CmdTorture(const std::string& scenario, uint64_t seed,
+               uint64_t max_points, uint64_t nested_points) {
+  struct Entry {
+    const char* name;
+    ScenarioKind kind;
+  };
+  static const Entry kSweeps[] = {
+      {"backup", ScenarioKind::kBackup},
+      {"resume", ScenarioKind::kResume},
+      {"scrub", ScenarioKind::kScrub},
+      {"restore", ScenarioKind::kRestore},
+  };
+  bool matched = false;
+  int rc = 0;
+  for (const Entry& entry : kSweeps) {
+    if (scenario == "all" || scenario == entry.name) {
+      matched = true;
+      rc |= RunOneSweep(entry.kind, seed, max_points, nested_points);
+    }
+  }
+  if (scenario == "all" || scenario == "concurrent") {
+    matched = true;
+    rc |= RunConcurrent(seed);
+  }
+  if (!matched) {
+    fprintf(stderr, "unknown torture scenario '%s'\n", scenario.c_str());
+    return Usage();
+  }
+  return rc;
+}
+
 int Usage() {
   fprintf(stderr,
           "usage:\n"
@@ -408,7 +500,15 @@ int Usage() {
           "[out=<image>]\n"
           "      verify-backup plus repair: bad pages re-copied from the\n"
           "      stable db (identity-logged) or rebuilt from the log, then\n"
-          "      the image is rewritten; exit 2 if any page stays bad\n");
+          "      the image is rewritten; exit 2 if any page stays bad\n"
+          "  llb_dbtool torture [scenario=all] [seed=1] [max-points=0]\n"
+          "      [nested-points=0]\n"
+          "      crash-point sweep of a pipeline scenario (backup, resume,\n"
+          "      scrub, restore, concurrent, or all): run once to count\n"
+          "      durability events, then crash at each one, recover, and\n"
+          "      verify db + completed backups against the oracle;\n"
+          "      max-points caps the sweep (0 = every event) and\n"
+          "      nested-points > 0 also crashes the recovery itself\n");
   return 64;
 }
 
@@ -417,6 +517,12 @@ int Main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "demo") {
     return CmdDemo(argc > 2 ? argv[2] : "demo.img");
+  }
+  if (cmd == "torture") {
+    return CmdTorture(argc > 2 ? argv[2] : "all",
+                      argc > 3 ? strtoull(argv[3], nullptr, 10) : 1,
+                      argc > 4 ? strtoull(argv[4], nullptr, 10) : 0,
+                      argc > 5 ? strtoull(argv[5], nullptr, 10) : 0);
   }
   if (argc < 3) return Usage();
   MemEnv env;
