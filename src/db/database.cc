@@ -90,6 +90,8 @@ Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
   BackupJobOptions job_options;
   job_options.steps = steps != 0 ? steps : options_.backup_steps;
   job_options.parallel_partitions = options_.parallel_backup;
+  job_options.batch_pages = options_.backup_batch_pages;
+  job_options.pipelined = options_.backup_pipelined;
   return TakeBackupWithOptions(backup_name, job_options);
 }
 
@@ -156,6 +158,8 @@ Result<BackupManifest> Database::TakeIncrementalBackup(
   BackupJobOptions job_options;
   job_options.steps = steps != 0 ? steps : options_.backup_steps;
   job_options.parallel_partitions = options_.parallel_backup;
+  job_options.batch_pages = options_.backup_batch_pages;
+  job_options.pipelined = options_.backup_pipelined;
 
   Lsn start_lsn = cache_->RedoStartLsn();
   LLB_RETURN_IF_ERROR(log_->Force());

@@ -43,6 +43,12 @@ struct DbOptions {
   BackupPolicy backup_policy = BackupPolicy::kGeneral;
   uint32_t backup_steps = 8;
   bool parallel_backup = false;
+  /// Sweep batching (see BackupJobOptions::batch_pages / pipelined):
+  /// pages per batched backup IO, and whether the sweep double-buffers
+  /// reads from S against writes to B. 1 / false reproduce the legacy
+  /// page-at-a-time sweep exactly.
+  uint32_t backup_batch_pages = 1;
+  bool backup_pipelined = false;
 };
 
 /// The storage engine facade: stable database + recovery log + cache

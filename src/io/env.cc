@@ -3,6 +3,14 @@
 namespace llb {
 
 File::~File() = default;
+
+Status File::WriteAtv(uint64_t offset, const std::vector<Slice>& chunks) {
+  for (const Slice& chunk : chunks) {
+    LLB_RETURN_IF_ERROR(WriteAt(offset, chunk));
+    offset += chunk.size();
+  }
+  return Status::OK();
+}
 FaultInjector::~FaultInjector() = default;
 Env::~Env() = default;
 

@@ -36,6 +36,14 @@ class File {
   /// Writes data at offset, extending the file if needed.
   virtual Status WriteAt(uint64_t offset, Slice data) = 0;
 
+  /// Vectored write: persists `chunks` back to back starting at `offset`,
+  /// as one logical write operation. The base implementation loops over
+  /// WriteAt; environments that can do better (a single buffer splice, a
+  /// single writev) override it. Like WriteAt, the data is volatile until
+  /// Sync() — batching callers pair one WriteAtv with one Sync to turn K
+  /// per-page durability round trips into one.
+  virtual Status WriteAtv(uint64_t offset, const std::vector<Slice>& chunks);
+
   /// Appends data at the current end of file.
   virtual Status Append(Slice data) = 0;
 

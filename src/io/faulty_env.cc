@@ -95,6 +95,33 @@ class FaultyFile : public File {
     return base_->WriteAt(offset, data);
   }
 
+  /// One kWriteAt decision covers the whole vectored call: a scripted
+  /// write fault aborts (or rots) the entire batch, mirroring a device
+  /// failing one multi-page transfer. Countdown scripts therefore count
+  /// batches, not pages, on batched sweeps.
+  Status WriteAtv(uint64_t offset,
+                  const std::vector<Slice>& chunks) override {
+    switch (env_->Decide(FaultOp::kWriteAt, name_)) {
+      case FaultAction::kFail:
+        return Status::IoError("injected transient write fault: " + name_);
+      case FaultAction::kCorrupt: {
+        // Flip one bit in the middle chunk so exactly one page of the
+        // batch rots silently.
+        std::vector<Slice> rotten = chunks;
+        std::string middle;
+        if (!chunks.empty()) {
+          middle = chunks[chunks.size() / 2].ToString();
+          FlipOneBit(&middle);
+          rotten[chunks.size() / 2] = Slice(middle);
+        }
+        return base_->WriteAtv(offset, rotten);
+      }
+      case FaultAction::kNone:
+        break;
+    }
+    return base_->WriteAtv(offset, chunks);
+  }
+
   Status Append(Slice data) override {
     switch (env_->Decide(FaultOp::kAppend, name_)) {
       case FaultAction::kFail:

@@ -33,6 +33,26 @@ class MemFile : public File {
     return Status::OK();
   }
 
+  Status WriteAtv(uint64_t offset,
+                  const std::vector<Slice>& chunks) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    size_t total = 0;
+    for (const Slice& chunk : chunks) total += chunk.size();
+    if (total == 0) return Status::OK();
+    if (offset + total > data_.size()) {
+      data_.resize(offset + total, '\0');
+    }
+    uint64_t at = offset;
+    for (const Slice& chunk : chunks) {
+      std::copy(chunk.data(), chunk.data() + chunk.size(),
+                data_.begin() + at);
+      at += chunk.size();
+    }
+    MarkDirty(offset, total);
+    return Status::OK();
+  }
+
   Status Append(Slice data) override {
     std::lock_guard<std::mutex> lock(env_->mu_);
     if (!env_->IoAllowed()) return Status::IoError("simulated device failure");

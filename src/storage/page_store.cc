@@ -117,6 +117,46 @@ Status PageStore::WritePageLocked(const PageId& id, const PageImage& sealed) {
   return file->Sync();
 }
 
+Status PageStore::ReadRun(PartitionId partition, uint32_t first_page,
+                          uint32_t count, std::vector<PageImage>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  out->clear();
+  if (count == 0) return Status::OK();
+  std::string raw;
+  raw.reserve(uint64_t{count} * kPageSize);
+  LLB_RETURN_IF_ERROR(partition_files_[partition]->ReadAt(
+      uint64_t{first_page} * kPageSize, uint64_t{count} * kPageSize, &raw));
+  // Pages past the end of the file read back short; they are never-written
+  // all-zero pages, exactly as ReadPage would report them.
+  raw.resize(uint64_t{count} * kPageSize, '\0');
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(
+        PageImage::FromRaw(raw.substr(uint64_t{i} * kPageSize, kPageSize)));
+    LLB_RETURN_IF_ERROR(out->back().VerifyChecksum());
+  }
+  return Status::OK();
+}
+
+Status PageStore::WriteSealedRun(PartitionId partition, uint32_t first_page,
+                                 const std::vector<PageImage>& images) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  if (images.empty()) return Status::OK();
+  std::vector<Slice> chunks;
+  chunks.reserve(images.size());
+  for (const PageImage& image : images) chunks.push_back(image.raw());
+  File* file = partition_files_[partition].get();
+  LLB_RETURN_IF_ERROR(
+      file->WriteAtv(uint64_t{first_page} * kPageSize, chunks));
+  return file->Sync();
+}
+
 Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {
   if (entries.empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);

@@ -56,6 +56,25 @@ class PageStore {
   /// Atomically and durably writes one page (seals the image first).
   Status WritePage(const PageId& id, const PageImage& image);
 
+  /// Reads `count` contiguous pages [first_page, first_page + count) of
+  /// one partition with a single device read under a single latch
+  /// acquisition, verifying every page's checksum. The batch-oriented
+  /// read half of the backup sweep: one mutex round trip and one IO per
+  /// run instead of per page.
+  Status ReadRun(PartitionId partition, uint32_t first_page, uint32_t count,
+                 std::vector<PageImage>* out) const;
+
+  /// Durably writes `images` to the `images.size()` contiguous page slots
+  /// starting at first_page, as one vectored device write followed by one
+  /// sync, under a single latch acquisition. The images must already
+  /// carry valid checksums (e.g. they came from ReadRun of another
+  /// store): they are written raw, without the per-page re-seal
+  /// WritePage performs — an identity copy of sealed bytes stays sealed.
+  /// Crash atomicity is the sync: the whole run becomes durable at the
+  /// final Sync or, after a crash before it, none of it does.
+  Status WriteSealedRun(PartitionId partition, uint32_t first_page,
+                        const std::vector<PageImage>& images);
+
   /// Atomically (w.r.t. crash) writes all entries. Order of persistence is
   /// all-or-nothing even across partitions.
   Status WriteBatchAtomic(const std::vector<Entry>& entries);

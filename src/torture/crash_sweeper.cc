@@ -112,6 +112,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "scrub";
     case ScenarioKind::kRestore:
       return "restore";
+    case ScenarioKind::kBatchedBackup:
+      return "batched";
   }
   return "unknown";
 }
@@ -136,6 +138,8 @@ DbOptions CrashSweeper::MakeDbOptions() const {
                               ? BackupPolicy::kTree
                               : BackupPolicy::kGeneral;
   options.backup_steps = scenario_.backup_steps;
+  options.backup_batch_pages = scenario_.batch_pages;
+  options.backup_pipelined = scenario_.pipelined;
   return options;
 }
 
@@ -284,6 +288,55 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       LLB_ASSIGN_OR_RETURN(ScrubReport again, db->VerifyBackup(kFullName));
       if (!again.clean()) {
         return Status::Internal("backup still dirty after scrub");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      return db->ForceLog();
+    }
+
+    case ScenarioKind::kBatchedBackup: {
+      BackupJobOptions job;
+      job.steps = scenario_.backup_steps;
+      job.batch_pages = scenario_.batch_pages;
+      job.pipelined = scenario_.pipelined;
+      job.mid_step = [&](PartitionId, uint32_t) {
+        return workload->Update(scenario_.updates_mid);
+      };
+      // A scripted transient fault kills one batched multi-page write
+      // mid-sweep. With batch_pages B and step size S there are
+      // ceil(S / B) batch writes per step; countdown ceil(S / B) + 1
+      // lands the abort on the first batch of step 2, so the durable
+      // cursor sits at the step-1 boundary with the sweep mid-partition.
+      uint32_t step_pages =
+          scenario_.pages_per_partition / scenario_.backup_steps;
+      uint32_t batch = std::max<uint32_t>(1, scenario_.batch_pages);
+      uint64_t abort_at = (step_pages + batch - 1) / batch + 1;
+      ScriptedFaultPolicy abort_policy(
+          {{FaultOp::kWriteAt, std::string(kFullName) + ".pages", abort_at,
+            FaultAction::kFail}});
+      e->env.SetPolicy(&abort_policy);
+      Result<BackupManifest> run = db->TakeBackupWithOptions(kFullName, job);
+      e->env.SetPolicy(nullptr);
+      if (run.ok()) {
+        return Status::Internal("scripted batch abort fault did not fire");
+      }
+      // A scheduled crash can beat the scripted abort; tell them apart by
+      // whether the env is now rejecting all IO.
+      if (e->base.io_blocked()) return run.status();
+      // Fences stayed up across the abort: updates here keep being
+      // identity-logged into the already-copied region.
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest resumed,
+                           db->ResumeBackup(kFullName, job));
+      if (!resumed.complete) {
+        return Status::Internal("resumed batched backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      // Batched incremental: the changed-page set is scattered, so the
+      // sweep's contiguous-run builder has to split around the gaps.
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("batched incremental backup incomplete");
       }
       LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
       return db->ForceLog();

@@ -28,6 +28,14 @@ enum class ScenarioKind {
   /// (verified against a log-prefix oracle), then full restore to the end
   /// of the log and reopen.
   kRestore,
+  /// The batched/pipelined sweep pipeline: a batched full backup with
+  /// mid-step updates, then a scripted transient fault that kills one
+  /// batched (multi-page) write mid-step, updates under the still-up
+  /// fences, a batched Resume from the mid-sweep durable cursor, and a
+  /// batched incremental (scattered changed pages exercise run
+  /// splitting). Gives every batch fence advance and buffered run write
+  /// every-event crash coverage plus nested crashes.
+  kBatchedBackup,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);
@@ -54,6 +62,12 @@ struct ScenarioOptions {
   uint32_t updates_pre = 20;   // workload steps before the first backup
   uint32_t updates_mid = 2;    // workload steps per backup mid-step hook
   uint32_t updates_post = 8;   // workload steps after each backup
+  /// Sweep batching for kBatchedBackup (and the engine's DbOptions):
+  /// pages per batched backup IO and double-buffered prefetch. The
+  /// defaults keep every pre-existing scenario on the legacy per-page
+  /// sweep so their durability-event sequences stay stable.
+  uint32_t batch_pages = 1;
+  bool pipelined = false;
 };
 
 /// How exhaustively to sweep.

@@ -74,6 +74,36 @@ TEST(CrashSweepTest, ScrubScenarioAllPoints) {
   EXPECT_GT(report.salvage_scrub_repairs, 0u);
 }
 
+TEST(CrashSweepTest, BatchedBackupScenarioAllPoints) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kBatchedBackup, WriteGraphKind::kGeneral);
+  // 32 pages / 4 steps = 8-page steps; batch 4 gives two buffered run
+  // writes per step, so crashes land between the batch writes of one
+  // step as well as on fence-advance and cursor events.
+  scenario.batch_pages = 4;
+  scenario.pipelined = true;
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  EXPECT_EQ(report.recoveries_verified, report.points_tested);
+  EXPECT_GT(report.backups_verified, 0u);
+}
+
+TEST(NestedCrashTest, CrashDuringRecoveryAfterBatchedBackupCrash) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kBatchedBackup, WriteGraphKind::kTree);
+  scenario.batch_pages = 4;
+  scenario.pipelined = true;
+  SweepOptions options;
+  options.max_points = 4;
+  options.nested_primary_points = 3;
+  options.nested_max_points = 8;
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.nested_points_tested, 0u);
+}
+
 TEST(CrashSweepTest, RestoreScenarioAllPoints) {
   CrashSweepReport report =
       SweepAllPoints(ScenarioKind::kRestore, WriteGraphKind::kGeneral);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_backup.json files produced by
+tools/benchrunner.
+
+Two layers of checks:
+
+  1. Invariant (always): the current file's derived batched-sweep speedup
+     must meet --min-speedup (default 1.5x) — batching K >= 16 pages has
+     to beat the legacy per-page sweep by that factor on *this* machine.
+
+  2. Baseline comparison (with --baseline): derived metrics are
+     throughput *ratios* measured on one machine, so they transfer across
+     hardware; each current ratio must be within --threshold (default
+     15%) below its committed baseline value. Absolute MB/s numbers do
+     NOT transfer across machines and are only compared under
+     --absolute (same-hardware runs).
+
+Exit status 0 = pass, 1 = regression or malformed input.
+
+Usage:
+  tools/bench_check.py --current BENCH_backup.json \
+      [--baseline BENCH_backup.json] [--threshold 0.15] \
+      [--min-speedup 1.5] [--absolute]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path):
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != "llb-bench-backup/1":
+        raise ValueError("%s: unexpected schema %r" %
+                         (path, data.get("schema")))
+    return data
+
+
+def ratio_metrics(derived):
+    """Derived keys that are hardware-portable ratios."""
+    return {
+        k: v for k, v in derived.items()
+        if isinstance(v, (int, float)) and
+        (k.startswith("speedup_") or k in ("batched_speedup_best",
+                                           "latch_reduction_k16"))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression vs baseline")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required batched-vs-legacy sweep speedup")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also compare absolute bytes_per_second "
+                             "(same-hardware baselines only)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    failures = []
+
+    speedup = current.get("derived", {}).get("batched_speedup_best")
+    if speedup is None:
+        failures.append("current file has no batched_speedup_best "
+                        "(did bench_x6_batched_sweep run?)")
+    elif speedup < args.min_speedup:
+        failures.append(
+            "batched sweep speedup %.3fx < required %.2fx" %
+            (speedup, args.min_speedup))
+    else:
+        print("bench_check: batched sweep speedup %.3fx (>= %.2fx)" %
+              (speedup, args.min_speedup))
+
+    if args.baseline:
+        baseline = load(args.baseline)
+        base_ratios = ratio_metrics(baseline.get("derived", {}))
+        cur_ratios = ratio_metrics(current.get("derived", {}))
+        for key, base_value in sorted(base_ratios.items()):
+            if base_value <= 0:
+                continue
+            cur_value = cur_ratios.get(key)
+            if cur_value is None:
+                failures.append("derived metric %s missing from current"
+                                % key)
+                continue
+            floor = base_value * (1.0 - args.threshold)
+            status = "ok" if cur_value >= floor else "REGRESSION"
+            print("bench_check: %s current=%.3f baseline=%.3f floor=%.3f %s"
+                  % (key, cur_value, base_value, floor, status))
+            if cur_value < floor:
+                failures.append(
+                    "%s regressed: %.3f < %.3f (baseline %.3f - %d%%)" %
+                    (key, cur_value, floor, base_value,
+                     round(args.threshold * 100)))
+        if args.absolute:
+            base_by_name = {
+                (b["binary"], b["name"]): b
+                for b in baseline.get("benchmarks", [])
+                if "bytes_per_second" in b
+            }
+            for rec in current.get("benchmarks", []):
+                key = (rec["binary"], rec["name"])
+                if key not in base_by_name or "bytes_per_second" not in rec:
+                    continue
+                base_bps = base_by_name[key]["bytes_per_second"]
+                floor = base_bps * (1.0 - args.threshold)
+                if rec["bytes_per_second"] < floor:
+                    failures.append(
+                        "%s/%s throughput regressed: %.1f MB/s < floor "
+                        "%.1f MB/s" % (key[0], key[1],
+                                       rec["bytes_per_second"] / 1e6,
+                                       floor / 1e6))
+
+    if failures:
+        for failure in failures:
+            print("bench_check: FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print("bench_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

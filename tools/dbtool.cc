@@ -411,6 +411,13 @@ int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
       (kind == ScenarioKind::kResume || kind == ScenarioKind::kScrub)
           ? WriteGraphKind::kTree
           : WriteGraphKind::kGeneral;
+  if (kind == ScenarioKind::kBatchedBackup) {
+    // Two batches per step so the scripted mid-sweep abort lands between
+    // batch writes of one step (see the scenario's countdown math).
+    scenario.batch_pages = std::max<uint32_t>(
+        1, scenario.pages_per_partition / (scenario.backup_steps * 2));
+    scenario.pipelined = true;
+  }
 
   SweepOptions sweep;
   sweep.max_points = max_points;
@@ -463,6 +470,7 @@ int CmdTorture(const std::string& scenario, uint64_t seed,
       {"resume", ScenarioKind::kResume},
       {"scrub", ScenarioKind::kScrub},
       {"restore", ScenarioKind::kRestore},
+      {"batched", ScenarioKind::kBatchedBackup},
   };
   bool matched = false;
   int rc = 0;
@@ -504,9 +512,9 @@ int Usage() {
           "  llb_dbtool torture [scenario=all] [seed=1] [max-points=0]\n"
           "      [nested-points=0]\n"
           "      crash-point sweep of a pipeline scenario (backup, resume,\n"
-          "      scrub, restore, concurrent, or all): run once to count\n"
-          "      durability events, then crash at each one, recover, and\n"
-          "      verify db + completed backups against the oracle;\n"
+          "      scrub, restore, batched, concurrent, or all): run once to\n"
+          "      count durability events, then crash at each one, recover,\n"
+          "      and verify db + completed backups against the oracle;\n"
           "      max-points caps the sweep (0 = every event) and\n"
           "      nested-points > 0 also crashes the recovery itself\n");
   return 64;
