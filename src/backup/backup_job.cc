@@ -1,6 +1,7 @@
 #include "backup/backup_job.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
@@ -106,28 +107,71 @@ Status BackupJob::CopyStepBatched(PageStore* dest, PartitionId partition,
     return images;
   };
 
-  std::future<Result<std::vector<PageImage>>> prefetch;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    Result<std::vector<PageImage>> batch =
-        prefetch.valid() ? prefetch.get() : read_run(runs[i]);
+  // Prefetch slot: a pool task filling a shared buffer when a pool is
+  // attached (zero transient threads), else a std::async thread counted
+  // in threads_spawned. When the pool is saturated (its workers are all
+  // busy running partition sweeps), TrySubmit declines and the next read
+  // simply happens inline — slower, never deadlocked.
+  using RunImages = Result<std::vector<PageImage>>;
+  std::shared_ptr<RunImages> pool_slot;
+  std::future<Status> pool_prefetch;
+  std::future<RunImages> async_prefetch;
+
+  Status result;
+  for (size_t i = 0; i < runs.size() && result.ok(); ++i) {
+    RunImages batch = [&]() -> RunImages {
+      if (pool_prefetch.valid()) {
+        Status done = pool_prefetch.get();  // slot is filled once this returns
+        (void)done;                         // same status lives in the slot
+        return std::move(*pool_slot);
+      }
+      if (async_prefetch.valid()) return async_prefetch.get();
+      return read_run(runs[i]);
+    }();
     // Kick off the next read before draining this batch to B: the writer
     // stage below overlaps the reader stage filling buffer N+1.
     if (options_.pipelined && i + 1 < runs.size()) {
-      prefetch = std::async(std::launch::async, read_run, runs[i + 1]);
+      const std::pair<uint32_t, uint32_t> next_run = runs[i + 1];
+      if (options_.pool != nullptr) {
+        auto slot = std::make_shared<RunImages>(
+            Status::Internal("prefetch task never ran"));
+        std::future<Status> future;
+        if (options_.pool->TrySubmit(
+                [slot, read_run, next_run] {
+                  *slot = read_run(next_run);
+                  return slot->status();
+                },
+                &future)) {
+          pool_slot = std::move(slot);
+          pool_prefetch = std::move(future);
+        }
+      } else {
+        async_prefetch = std::async(std::launch::async, read_run, next_run);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.threads_spawned;
+      }
     }
-    LLB_RETURN_IF_ERROR(batch.status());
+    if (!batch.ok()) {
+      result = batch.status();
+      break;
+    }
     auto started = std::chrono::steady_clock::now();
-    LLB_RETURN_IF_ERROR(WithRetry([&] {
+    result = WithRetry([&] {
       return dest->WriteSealedRun(partition, runs[i].first, *batch);
-    }));
-    {
+    });
+    if (result.ok()) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.write_batches;
       stats_.write_stage_us += ElapsedUs(started);
+      *copied += batch->size();
     }
-    *copied += batch->size();
   }
-  return Status::OK();
+  // Drain any in-flight prefetch before returning: its task captures
+  // `this`, which an error return would otherwise let the caller destroy
+  // while a pool worker is still reading. (The std::async future's
+  // destructor blocks on its own.)
+  if (pool_prefetch.valid()) pool_prefetch.wait();
+  return result;
 }
 
 Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
@@ -214,27 +258,70 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
   return Status::OK();
 }
 
-namespace {
+uint32_t BackupJob::SweepWorkers() const {
+  uint32_t n = coordinator_->num_partitions();
+  uint32_t desired = options_.parallel_partitions
+                         ? n
+                         : std::max<uint32_t>(1, options_.sweep_threads);
+  return std::min(desired, n);
+}
 
-Status RunPartitions(BackupCoordinator* coordinator, bool parallel,
-                     const std::function<Status(PartitionId)>& body) {
-  uint32_t n = coordinator->num_partitions();
-  if (!parallel || n == 1) {
+Status BackupJob::RunPartitions(
+    const std::function<Status(PartitionId)>& body) {
+  const uint32_t n = coordinator_->num_partitions();
+  const uint32_t workers = SweepWorkers();
+  if (workers <= 1) {
     for (PartitionId p = 0; p < n; ++p) LLB_RETURN_IF_ERROR(body(p));
     return Status::OK();
   }
-  std::vector<Status> results(n);
+
+  // Each worker claims the next unswept partition from a shared counter,
+  // so exactly one worker ever advances a given partition's fences. A
+  // failed partition does not stop the others — matching the serial
+  // behavior where every partition's cursor reflects its own progress,
+  // which is what Resume relies on.
+  auto next = std::make_shared<std::atomic<uint32_t>>(0);
+  auto worker = [n, next, &body]() -> Status {
+    Status result;
+    for (uint32_t p = next->fetch_add(1); p < n; p = next->fetch_add(1)) {
+      Status s = body(p);
+      if (result.ok() && !s.ok()) result = s;
+    }
+    return result;
+  };
+
+  Status result;
+  if (options_.pool != nullptr) {
+    // Blocking Submit is safe here: Run/Resume execute on the caller's
+    // thread, never on a pool worker.
+    std::vector<std::future<Status>> futures;
+    futures.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      futures.push_back(options_.pool->Submit(worker));
+    }
+    for (std::future<Status>& future : futures) {
+      Status s = future.get();
+      if (result.ok() && !s.ok()) result = s;
+    }
+    return result;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.threads_spawned += workers;
+  }
+  std::vector<Status> results(workers);
   std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (PartitionId p = 0; p < n; ++p) {
-    threads.emplace_back([&, p]() { results[p] = body(p); });
+  threads.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    threads.emplace_back([&, i]() { results[i] = worker(); });
   }
   for (std::thread& t : threads) t.join();
-  for (const Status& s : results) LLB_RETURN_IF_ERROR(s);
-  return Status::OK();
+  for (const Status& s : results) {
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
 }
-
-}  // namespace
 
 Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
                                         BackupCursor cursor, bool resuming) {
@@ -256,21 +343,30 @@ Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
       std::unique_ptr<PageStore> dest,
       PageStore::Open(env_, manifest.StoreName(), manifest.partitions));
 
-  LLB_RETURN_IF_ERROR(RunPartitions(
-      coordinator_, options_.parallel_partitions, [&](PartitionId p) {
-        uint32_t start_from = cursor.next_page[p];
-        if (start_from >= pages_per_partition_) return Status::OK();
-        if (resuming && start_from > 0) {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.partitions_resumed;
-          stats_.pages_skipped_on_resume += start_from;
-        }
-        return BackupPartition(
-            dest.get(), p,
-            manifest.incremental ? &filters.find(p)->second : nullptr,
-            manifest.steps, start_from,
-            options_.resumable ? &cursor : nullptr);
-      }));
+  // Size the pool up front: one worker per concurrent partition sweeper,
+  // plus one prefetch slot per sweeper when the pipelined reader stage is
+  // on. Grow is idempotent and the pool never shrinks, so repeated
+  // backups reuse the same threads.
+  if (options_.pool != nullptr) {
+    uint32_t workers = SweepWorkers();
+    size_t need = workers > 1 ? workers : 0;
+    if (options_.pipelined && options_.batch_pages > 1) need += workers;
+    options_.pool->Grow(need);
+  }
+
+  LLB_RETURN_IF_ERROR(RunPartitions([&](PartitionId p) {
+    uint32_t start_from = cursor.next_page[p];
+    if (start_from >= pages_per_partition_) return Status::OK();
+    if (resuming && start_from > 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.partitions_resumed;
+      stats_.pages_skipped_on_resume += start_from;
+    }
+    return BackupPartition(
+        dest.get(), p,
+        manifest.incremental ? &filters.find(p)->second : nullptr,
+        manifest.steps, start_from, options_.resumable ? &cursor : nullptr);
+  }));
 
   manifest.end_lsn = log_->next_lsn() - 1;
   manifest.complete = true;

@@ -9,6 +9,7 @@
 
 #include "backup/backup_progress.h"
 #include "backup/backup_store.h"
+#include "backup/sweep_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "io/env.h"
@@ -38,8 +39,24 @@ struct BackupJobOptions {
   /// mean finer fences and less extra logging.
   uint32_t steps = 8;
   /// Back up partitions on concurrent threads (each partition has its own
-  /// fences and latch, so they interleave freely — paper 3.4).
+  /// fences and latch, so they interleave freely — paper 3.4). Legacy
+  /// all-out switch: equivalent to sweep_threads = num_partitions.
   bool parallel_partitions = false;
+  /// Number of concurrent sweep workers. Partitions are sharded across
+  /// the workers (each worker claims the next unswept partition), so the
+  /// device sees up to sweep_threads concurrent streams while every
+  /// partition still has exactly one sweeper advancing its own (D, P)
+  /// fences — the per-partition latch protocol is untouched, and fence
+  /// advances on different partitions commute (DESIGN.md "Parallel
+  /// sweeps"). 1 = serial. Clamped to the partition count.
+  uint32_t sweep_threads = 1;
+  /// Persistent worker pool to run sweep workers and pipelined prefetch
+  /// on. Not owned. When null, parallel sweeps fall back to transient
+  /// std::threads and pipelined prefetch to std::async — both counted in
+  /// BackupJobStats::threads_spawned. Database attaches its own pool to
+  /// every job it drives, so Database-driven sweeps spawn zero transient
+  /// threads.
+  SweepThreadPool* pool = nullptr;
   /// Retry policy for transient IO errors on page copies and sweep
   /// metadata writes.
   RetryPolicy retry;
@@ -96,6 +113,11 @@ struct BackupJobStats {
   /// exceed the sweep's elapsed time.
   uint64_t read_stage_us = 0;
   uint64_t write_stage_us = 0;
+  /// Transient threads created because no SweepThreadPool was attached
+  /// (std::thread per partition worker, std::async per prefetch). A job
+  /// with a pool keeps this at exactly 0 — the regression guard for the
+  /// persistent-worker design.
+  uint64_t threads_spawned = 0;
 };
 
 /// The on-line backup process: sweeps the stable database S in backup
@@ -166,6 +188,16 @@ class BackupJob {
   /// end_lsn, marks the manifest complete, and retires the cursor.
   Result<BackupManifest> Sweep(BackupManifest manifest, BackupCursor cursor,
                                bool resuming);
+
+  /// Runs `body` once per partition on up to `SweepWorkers()` concurrent
+  /// workers (pool tasks when a pool is attached, transient std::threads
+  /// otherwise). Workers claim partitions from a shared counter, so any
+  /// worker count ≤ the partition count keeps every partition
+  /// single-sweeper.
+  Status RunPartitions(const std::function<Status(PartitionId)>& body);
+
+  /// Effective concurrent sweep-worker count for this job's options.
+  uint32_t SweepWorkers() const;
 
   /// Copies [from, to) of one partition's step in batched runs, double
   /// buffered when options_.pipelined is set. Pages rejected by

@@ -1,0 +1,78 @@
+#ifndef LLB_BACKUP_SWEEP_POOL_H_
+#define LLB_BACKUP_SWEEP_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace llb {
+
+/// A persistent pool of sweep workers shared by all backup work of one
+/// database. Replaces the one-std::async-per-run prefetch thread churn
+/// (ROADMAP PR 3 follow-up: "persistent reader thread"): threads are
+/// created once — lazily, via Grow — and reused across every backup run,
+/// so a fully pipelined sweep spawns zero transient threads.
+///
+/// Two submission paths with different blocking behavior:
+///  - Submit() enqueues unconditionally, blocking while the bounded run
+///    queue is full. Safe ONLY from threads outside the pool (the backup
+///    driver); a pool worker calling it could deadlock the pool.
+///  - TrySubmit() enqueues only if an idle worker can take the task right
+///    now, else declines. This is the path for nested work (a partition
+///    sweep running ON a worker submitting its read-ahead): when the pool
+///    is saturated the caller falls back to doing the work inline, which
+///    degrades throughput but can never deadlock.
+///
+/// Task results are Status futures; a task must not throw.
+class SweepThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (may be 0; Grow adds more).
+  explicit SweepThreadPool(size_t threads = 0);
+
+  /// Joins all workers. Pending queued tasks are still run to completion
+  /// first — their futures stay valid.
+  ~SweepThreadPool();
+
+  SweepThreadPool(const SweepThreadPool&) = delete;
+  SweepThreadPool& operator=(const SweepThreadPool&) = delete;
+
+  /// Ensures the pool has at least `threads` workers. The pool never
+  /// shrinks: a database that once ran an 8-way sweep keeps 8 workers
+  /// parked (they cost an idle condvar wait each).
+  void Grow(size_t threads);
+
+  /// Enqueues a task, blocking while the run queue is at capacity.
+  /// Must not be called from a pool worker thread.
+  std::future<Status> Submit(std::function<Status()> fn);
+
+  /// Enqueues a task only if an idle worker is available to start it
+  /// immediately. Returns false (and leaves *out untouched) otherwise.
+  /// Safe to call from pool worker threads.
+  bool TrySubmit(std::function<Status()> fn, std::future<Status>* out);
+
+  size_t threads() const;
+  uint64_t tasks_run() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / stop
+  std::condition_variable space_cv_;  // submitters wait for queue space
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t busy_ = 0;       // workers currently running a task
+  uint64_t tasks_run_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace llb
+
+#endif  // LLB_BACKUP_SWEEP_POOL_H_

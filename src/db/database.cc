@@ -92,6 +92,7 @@ Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
   job_options.parallel_partitions = options_.parallel_backup;
   job_options.batch_pages = options_.backup_batch_pages;
   job_options.pipelined = options_.backup_pipelined;
+  job_options.sweep_threads = options_.backup_sweep_threads;
   return TakeBackupWithOptions(backup_name, job_options);
 }
 
@@ -108,8 +109,12 @@ Result<BackupManifest> Database::TakeBackupWithOptions(
   // sweep is conservatively counted as changed for the next incremental.
   tracker_.SnapshotAndClear();
 
+  // Every Database-driven job runs on the persistent pool: zero
+  // transient threads per backup (stats().threads_spawned == 0).
+  BackupJobOptions effective = job_options;
+  if (effective.pool == nullptr) effective.pool = &sweep_pool_;
   BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
-                options_.pages_per_partition, job_options);
+                options_.pages_per_partition, effective);
   Result<BackupManifest> manifest = job.Run(backup_name, start_lsn);
   if (stats_out != nullptr) *stats_out = job.stats();
   if (!manifest.ok()) return manifest.status();
@@ -122,8 +127,10 @@ Result<BackupManifest> Database::TakeBackupWithOptions(
 Result<BackupManifest> Database::ResumeBackup(
     const std::string& backup_name, const BackupJobOptions& job_options,
     BackupJobStats* stats_out) {
+  BackupJobOptions effective = job_options;
+  if (effective.pool == nullptr) effective.pool = &sweep_pool_;
   BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
-                options_.pages_per_partition, job_options);
+                options_.pages_per_partition, effective);
   Result<BackupManifest> manifest = job.Resume(backup_name);
   if (stats_out != nullptr) *stats_out = job.stats();
   if (!manifest.ok()) return manifest.status();
@@ -160,6 +167,8 @@ Result<BackupManifest> Database::TakeIncrementalBackup(
   job_options.parallel_partitions = options_.parallel_backup;
   job_options.batch_pages = options_.backup_batch_pages;
   job_options.pipelined = options_.backup_pipelined;
+  job_options.sweep_threads = options_.backup_sweep_threads;
+  job_options.pool = &sweep_pool_;
 
   Lsn start_lsn = cache_->RedoStartLsn();
   LLB_RETURN_IF_ERROR(log_->Force());

@@ -49,6 +49,12 @@ struct DbOptions {
   /// page-at-a-time sweep exactly.
   uint32_t backup_batch_pages = 1;
   bool backup_pipelined = false;
+  /// Concurrent sweep workers for backups driven through this database
+  /// (see BackupJobOptions::sweep_threads). Workers come from the
+  /// database's persistent SweepThreadPool, created lazily and reused
+  /// across all backup runs — no per-backup thread churn. 1 = serial
+  /// sweep.
+  uint32_t backup_sweep_threads = 1;
 };
 
 /// The storage engine facade: stable database + recovery log + cache
@@ -139,6 +145,10 @@ class Database {
   Result<ScrubReport> ScrubBackup(const std::string& backup_name);
 
   OpRegistry* registry() { return &registry_; }
+  /// The persistent worker pool every Database-driven backup runs on
+  /// (partition sweepers + pipelined prefetch). Starts empty; jobs grow
+  /// it to what they need and the threads persist for the next backup.
+  SweepThreadPool* sweep_pool() { return &sweep_pool_; }
   CacheManager* cache() { return cache_.get(); }
   LogManager* log() { return log_.get(); }
   PageStore* stable() { return stable_.get(); }
@@ -171,6 +181,9 @@ class Database {
   BackupCoordinator coordinator_;
   IncrementalTracker tracker_;
   std::unique_ptr<CacheManager> cache_;
+  /// Declared after the stores it sweeps: destroyed first, and idle by
+  /// then (every job joins its futures before returning).
+  SweepThreadPool sweep_pool_;
 
   /// Atomics: updated by whichever thread runs a backup, read by
   /// GatherStats from concurrent foreground/monitoring threads.

@@ -1,8 +1,27 @@
 #include "io/env.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace llb {
 
 File::~File() = default;
+
+Status File::ReadAtv(uint64_t offset,
+                     const std::vector<IoBuffer>& chunks) const {
+  for (const IoBuffer& chunk : chunks) {
+    if (chunk.size == 0) continue;
+    std::string tmp;
+    tmp.reserve(chunk.size);
+    LLB_RETURN_IF_ERROR(ReadAt(offset, chunk.size, &tmp));
+    std::memcpy(chunk.data, tmp.data(), tmp.size());
+    if (tmp.size() < chunk.size) {
+      std::memset(chunk.data + tmp.size(), 0, chunk.size - tmp.size());
+    }
+    offset += chunk.size;
+  }
+  return Status::OK();
+}
 
 Status File::WriteAtv(uint64_t offset, const std::vector<Slice>& chunks) {
   for (const Slice& chunk : chunks) {

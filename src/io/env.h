@@ -12,6 +12,12 @@
 
 namespace llb {
 
+/// A caller-owned destination buffer for vectored reads.
+struct IoBuffer {
+  char* data = nullptr;
+  size_t size = 0;
+};
+
 /// A random-access file. All engine IO (stable database, backup store,
 /// recovery log) goes through this interface so that tests can interpose
 /// deterministic crash/fault behavior.
@@ -32,6 +38,16 @@ class File {
   /// Reads up to n bytes at offset; appends the bytes actually available
   /// to *out (fewer than n at end of file).
   virtual Status ReadAt(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  /// Vectored scatter read: fills `chunks` (caller-owned buffers) back to
+  /// back from `offset`, as one logical read operation. Bytes past the
+  /// end of the file are zero-filled — the never-written-page convention
+  /// ReadAt callers implement by hand. The base implementation loops over
+  /// ReadAt; environments that can do better (a single buffer scan, a
+  /// single preadv) override it, so batching callers get one device IO
+  /// per run instead of one per page.
+  virtual Status ReadAtv(uint64_t offset,
+                         const std::vector<IoBuffer>& chunks) const;
 
   /// Writes data at offset, extending the file if needed.
   virtual Status WriteAt(uint64_t offset, Slice data) = 0;

@@ -80,6 +80,32 @@ class FaultyFile : public File {
     return base_->ReadAt(offset, n, out);
   }
 
+  /// One kReadAt decision covers the whole vectored call, mirroring
+  /// WriteAtv: a scripted read fault fails the entire batch (one failed
+  /// multi-page transfer), and a corrupt decision rots exactly one chunk.
+  /// Countdown scripts therefore count batches, not pages, on batched
+  /// sweeps.
+  Status ReadAtv(uint64_t offset,
+                 const std::vector<IoBuffer>& chunks) const override {
+    switch (env_->Decide(FaultOp::kReadAt, name_)) {
+      case FaultAction::kFail:
+        return Status::IoError("injected transient read fault: " + name_);
+      case FaultAction::kCorrupt: {
+        LLB_RETURN_IF_ERROR(base_->ReadAtv(offset, chunks));
+        // Flip one bit in the middle chunk so exactly one page of the
+        // batch reads back rotten.
+        if (!chunks.empty()) {
+          const IoBuffer& middle = chunks[chunks.size() / 2];
+          if (middle.size > 0) middle.data[middle.size / 2] ^= 0x10;
+        }
+        return Status::OK();
+      }
+      case FaultAction::kNone:
+        break;
+    }
+    return base_->ReadAtv(offset, chunks);
+  }
+
   Status WriteAt(uint64_t offset, Slice data) override {
     switch (env_->Decide(FaultOp::kWriteAt, name_)) {
       case FaultAction::kFail:

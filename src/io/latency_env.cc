@@ -1,0 +1,106 @@
+#include "io/latency_env.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace llb {
+
+/// Wraps a base file, charging the env's latency profile before each op.
+class LatencyFile : public File {
+ public:
+  LatencyFile(LatencyEnv* env, std::shared_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    env_->ChargeOp(n);
+    return base_->ReadAt(offset, n, out);
+  }
+
+  Status ReadAtv(uint64_t offset,
+                 const std::vector<IoBuffer>& chunks) const override {
+    size_t total = 0;
+    for (const IoBuffer& chunk : chunks) total += chunk.size;
+    env_->ChargeOp(total);  // one seek for the whole batch
+    return base_->ReadAtv(offset, chunks);
+  }
+
+  Status WriteAt(uint64_t offset, Slice data) override {
+    env_->ChargeOp(data.size());
+    return base_->WriteAt(offset, data);
+  }
+
+  Status WriteAtv(uint64_t offset, const std::vector<Slice>& chunks) override {
+    size_t total = 0;
+    for (const Slice& chunk : chunks) total += chunk.size();
+    env_->ChargeOp(total);  // one seek for the whole batch
+    return base_->WriteAtv(offset, chunks);
+  }
+
+  Status Append(Slice data) override {
+    env_->ChargeOp(data.size());
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    env_->ChargeSync();
+    return base_->Sync();
+  }
+
+  Result<uint64_t> Size() const override { return base_->Size(); }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+ private:
+  LatencyEnv* const env_;
+  const std::shared_ptr<File> base_;
+};
+
+Result<std::shared_ptr<File>> LatencyEnv::OpenFile(const std::string& name,
+                                                   bool create) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> base,
+                       base_->OpenFile(name, create));
+  return std::shared_ptr<File>(
+      std::make_shared<LatencyFile>(this, std::move(base)));
+}
+
+Status LatencyEnv::DeleteFile(const std::string& name) {
+  return base_->DeleteFile(name);
+}
+
+bool LatencyEnv::FileExists(const std::string& name) const {
+  return base_->FileExists(name);
+}
+
+std::vector<std::string> LatencyEnv::ListFiles() const {
+  return base_->ListFiles();
+}
+
+LatencyEnvStats LatencyEnv::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LatencyEnv::ChargeOp(size_t bytes) {
+  uint64_t us = profile_.seek_us;
+  if (profile_.bytes_per_us > 0) us += bytes / profile_.bytes_per_us;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ops;
+    stats_.bytes += bytes;
+    stats_.simulated_us += us;
+  }
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void LatencyEnv::ChargeSync() {
+  uint64_t us = profile_.sync_us;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.syncs;
+    stats_.simulated_us += us;
+  }
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace llb

@@ -1,6 +1,7 @@
 #include "io/mem_env.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,23 @@ class MemFile : public File {
     if (offset >= data_.size()) return Status::OK();
     size_t avail = std::min<uint64_t>(n, data_.size() - offset);
     out->append(data_.data() + offset, avail);
+    return Status::OK();
+  }
+
+  Status ReadAtv(uint64_t offset,
+                 const std::vector<IoBuffer>& chunks) const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (!env_->IoAllowed()) return Status::IoError("simulated device failure");
+    for (const IoBuffer& chunk : chunks) {
+      size_t avail = offset < data_.size()
+                         ? std::min<uint64_t>(chunk.size, data_.size() - offset)
+                         : 0;
+      if (avail > 0) std::memcpy(chunk.data, data_.data() + offset, avail);
+      if (avail < chunk.size) {
+        std::memset(chunk.data + avail, 0, chunk.size - avail);
+      }
+      offset += chunk.size;
+    }
     return Status::OK();
   }
 

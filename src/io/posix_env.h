@@ -1,0 +1,82 @@
+#ifndef LLB_IO_POSIX_ENV_H_
+#define LLB_IO_POSIX_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace llb {
+
+/// A real file-backed environment: every engine file lives as one flat
+/// file under a root directory, and IO goes straight to the kernel via
+/// pread/pwrite/pwritev/preadv with fdatasync for durability. This is
+/// what moves benchmarks and smoke runs off the zero-latency MemEnv and
+/// onto device-shaped IO (ROADMAP: "BENCH_backup.json numbers
+/// device-shaped").
+///
+/// Durability model: identical contract to MemEnv — written data is
+/// volatile until Sync() (fdatasync) returns. There is no simulated
+/// CrashAndRestart; crash testing stays on MemEnv, where the durable/
+/// volatile split is observable.
+///
+/// Thread-safety: positional reads and writes go through concurrently
+/// (pread/pwrite are atomic at the syscall level); Append serializes on a
+/// per-file mutex because it must read-modify the end-of-file position.
+struct PosixEnvOptions {
+  /// Also open each file with O_DIRECT and route page-aligned IO
+  /// through it (bounced via an aligned buffer), bypassing the page
+  /// cache so throughput numbers reflect the device. Falls back to
+  /// buffered IO silently when the kernel/filesystem refuses O_DIRECT
+  /// or an op is not 4 KB-aligned.
+  bool direct_io = false;
+  /// Use fdatasync instead of fsync for Sync(). fdatasync skips
+  /// flushing file metadata timestamps — the right default for page
+  /// stores and logs, where only data and size matter.
+  bool use_fdatasync = true;
+};
+
+class PosixEnv : public Env {
+ public:
+  using Options = PosixEnvOptions;
+
+  /// Opens an environment rooted at `root` (created if absent). Engine
+  /// file names map to `root`/`name`; names must be flat (no '/').
+  static Result<std::unique_ptr<PosixEnv>> Open(
+      const std::string& root, const Options& options = PosixEnvOptions());
+
+  ~PosixEnv() override;
+
+  Result<std::shared_ptr<File>> OpenFile(const std::string& name,
+                                         bool create) override;
+  Status DeleteFile(const std::string& name) override;
+  bool FileExists(const std::string& name) const override;
+  std::vector<std::string> ListFiles() const override;
+
+  const std::string& root() const { return root_; }
+  const Options& options() const { return options_; }
+
+ private:
+  PosixEnv(std::string root, const Options& options)
+      : root_(root), options_(options) {}
+
+  std::string PathOf(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+
+  const std::string root_;
+  const Options options_;
+
+  /// Open handles, shared so two OpenFile calls for one name return the
+  /// same file object (the MemEnv contract PageStore relies on).
+  mutable std::mutex mu_;
+  std::map<std::string, std::weak_ptr<File>> files_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_IO_POSIX_ENV_H_

@@ -1,5 +1,6 @@
 #include "storage/page_store.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/coding.h"
@@ -26,10 +27,12 @@ Result<std::unique_ptr<PageStore>> PageStore::Open(Env* env,
 
 Status PageStore::OpenFiles() {
   partition_files_.resize(num_partitions_);
+  partition_mu_.resize(num_partitions_);
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     LLB_ASSIGN_OR_RETURN(
         partition_files_[p],
         env_->OpenFile(prefix_ + ".p" + std::to_string(p), /*create=*/true));
+    partition_mu_[p] = std::make_unique<std::mutex>();
   }
   LLB_ASSIGN_OR_RETURN(journal_,
                        env_->OpenFile(prefix_ + ".journal", /*create=*/true));
@@ -78,21 +81,23 @@ Status PageStore::RecoverJournal() {
   }
 
   // Committed: (re)apply all page writes, then clear the journal.
+  // (Open-time, single-threaded; the partition locks are uncontended.)
   for (const Entry& e : entries) {
+    std::lock_guard<std::mutex> lock(PartitionMutex(e.id.partition));
     LLB_RETURN_IF_ERROR(WritePageLocked(e.id, e.image));
   }
   return discard();
 }
 
 Status PageStore::ReadPage(const PageId& id, PageImage* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (id.partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  std::lock_guard<std::mutex> lock(PartitionMutex(id.partition));
   return ReadPageLocked(id, out);
 }
 
 Status PageStore::ReadPageLocked(const PageId& id, PageImage* out) const {
-  if (id.partition >= num_partitions_) {
-    return Status::InvalidArgument("partition out of range");
-  }
   std::string raw;
   LLB_RETURN_IF_ERROR(partition_files_[id.partition]->ReadAt(
       uint64_t{id.page} * kPageSize, kPageSize, &raw));
@@ -101,16 +106,16 @@ Status PageStore::ReadPageLocked(const PageId& id, PageImage* out) const {
 }
 
 Status PageStore::WritePage(const PageId& id, const PageImage& image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (id.partition >= num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
   PageImage sealed = image;
   sealed.Seal();
+  std::lock_guard<std::mutex> lock(PartitionMutex(id.partition));
   return WritePageLocked(id, sealed);
 }
 
 Status PageStore::WritePageLocked(const PageId& id, const PageImage& sealed) {
-  if (id.partition >= num_partitions_) {
-    return Status::InvalidArgument("partition out of range");
-  }
   File* file = partition_files_[id.partition].get();
   LLB_RETURN_IF_ERROR(
       file->WriteAt(uint64_t{id.page} * kPageSize, sealed.raw()));
@@ -119,23 +124,30 @@ Status PageStore::WritePageLocked(const PageId& id, const PageImage& sealed) {
 
 Status PageStore::ReadRun(PartitionId partition, uint32_t first_page,
                           uint32_t count, std::vector<PageImage>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (partition >= num_partitions_) {
     return Status::InvalidArgument("partition out of range");
   }
   out->clear();
   if (count == 0) return Status::OK();
-  std::string raw;
-  raw.reserve(uint64_t{count} * kPageSize);
-  LLB_RETURN_IF_ERROR(partition_files_[partition]->ReadAt(
-      uint64_t{first_page} * kPageSize, uint64_t{count} * kPageSize, &raw));
-  // Pages past the end of the file read back short; they are never-written
-  // all-zero pages, exactly as ReadPage would report them.
-  raw.resize(uint64_t{count} * kPageSize, '\0');
+  // One vectored scatter read straight into per-page buffers: a single
+  // device IO and no reassembly copies. ReadAtv zero-fills past the end
+  // of the file — never-written all-zero pages, exactly as ReadPage
+  // would report them.
+  std::vector<std::string> buffers(count, std::string(kPageSize, '\0'));
+  std::vector<IoBuffer> chunks(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    chunks[i] = {buffers[i].data(), kPageSize};
+  }
+  {
+    std::lock_guard<std::mutex> lock(PartitionMutex(partition));
+    LLB_RETURN_IF_ERROR(partition_files_[partition]->ReadAtv(
+        uint64_t{first_page} * kPageSize, chunks));
+  }
+  // Checksum verification happens outside the latch: it is pure CPU work
+  // on private buffers, and keeping it out lets other partitions' IO in.
   out->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    out->push_back(
-        PageImage::FromRaw(raw.substr(uint64_t{i} * kPageSize, kPageSize)));
+    out->push_back(PageImage::FromRaw(std::move(buffers[i])));
     LLB_RETURN_IF_ERROR(out->back().VerifyChecksum());
   }
   return Status::OK();
@@ -143,7 +155,6 @@ Status PageStore::ReadRun(PartitionId partition, uint32_t first_page,
 
 Status PageStore::WriteSealedRun(PartitionId partition, uint32_t first_page,
                                  const std::vector<PageImage>& images) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (partition >= num_partitions_) {
     return Status::InvalidArgument("partition out of range");
   }
@@ -151,6 +162,7 @@ Status PageStore::WriteSealedRun(PartitionId partition, uint32_t first_page,
   std::vector<Slice> chunks;
   chunks.reserve(images.size());
   for (const PageImage& image : images) chunks.push_back(image.raw());
+  std::lock_guard<std::mutex> lock(PartitionMutex(partition));
   File* file = partition_files_[partition].get();
   LLB_RETURN_IF_ERROR(
       file->WriteAtv(uint64_t{first_page} * kPageSize, chunks));
@@ -159,12 +171,22 @@ Status PageStore::WriteSealedRun(PartitionId partition, uint32_t first_page,
 
 Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {
   if (entries.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries) {
+    if (e.id.partition >= num_partitions_) {
+      return Status::InvalidArgument("partition out of range");
+    }
+  }
   if (entries.size() == 1) {
     PageImage sealed = entries[0].image;
     sealed.Seal();
+    std::lock_guard<std::mutex> lock(PartitionMutex(entries[0].id.partition));
     return WritePageLocked(entries[0].id, sealed);
   }
+  // Lock order: the journal mutex first, then partition mutexes one at a
+  // time per page write. Batches serialize against each other on
+  // journal_mu_ (they share the shadow journal file) but let sweep IO on
+  // untouched partitions through.
+  std::lock_guard<std::mutex> journal_lock(journal_mu_);
 
   std::vector<Entry> sealed;
   sealed.reserve(entries.size());
@@ -190,6 +212,7 @@ Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {
   // 2. Apply the page writes (each durable; a crash here is repaired by
   //    journal replay at the next open).
   for (const Entry& e : sealed) {
+    std::lock_guard<std::mutex> lock(PartitionMutex(e.id.partition));
     LLB_RETURN_IF_ERROR(WritePageLocked(e.id, e.image));
   }
 
@@ -199,29 +222,29 @@ Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {
 }
 
 Result<uint32_t> PageStore::PageCount(PartitionId partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (partition >= num_partitions_) {
     return Status::InvalidArgument("partition out of range");
   }
+  std::lock_guard<std::mutex> lock(PartitionMutex(partition));
   LLB_ASSIGN_OR_RETURN(uint64_t size, partition_files_[partition]->Size());
   return static_cast<uint32_t>(size / kPageSize);
 }
 
 Status PageStore::WipePartition(PartitionId partition) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (partition >= num_partitions_) {
     return Status::InvalidArgument("partition out of range");
   }
+  std::lock_guard<std::mutex> lock(PartitionMutex(partition));
   LLB_RETURN_IF_ERROR(partition_files_[partition]->Truncate(0));
   return partition_files_[partition]->Sync();
 }
 
 Status PageStore::CorruptPage(const PageId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (id.partition >= num_partitions_) {
     return Status::InvalidArgument("partition out of range");
   }
   std::string junk(kPageSize, '\xDB');
+  std::lock_guard<std::mutex> lock(PartitionMutex(id.partition));
   File* file = partition_files_[id.partition].get();
   LLB_RETURN_IF_ERROR(
       file->WriteAt(uint64_t{id.page} * kPageSize, Slice(junk)));
@@ -235,7 +258,7 @@ Status PageStore::CopyAllFrom(const PageStore& src,
       PageId id{p, page};
       PageImage image;
       LLB_RETURN_IF_ERROR(src.ReadPage(id, &image));
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(PartitionMutex(p));
       LLB_RETURN_IF_ERROR(WritePageLocked(id, image));
     }
   }

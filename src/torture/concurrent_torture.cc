@@ -74,7 +74,11 @@ Result<ConcurrentTortureReport> RunConcurrentTorture(
     for (uint32_t i = 0; i < options.backups; ++i) {
       BackupJobOptions job;
       job.steps = options.backup_steps;
-      job.parallel_partitions = true;
+      if (options.sweep_threads >= 2) {
+        job.sweep_threads = options.sweep_threads;
+      } else {
+        job.parallel_partitions = true;
+      }
       BackupJobStats stats;
       Result<BackupManifest> manifest =
           db->TakeBackupWithOptions("cbk_" + std::to_string(i), job, &stats);

@@ -25,6 +25,12 @@ struct ConcurrentTortureOptions {
   uint32_t backup_steps = 8;
   /// Consecutive full backups the sweep thread takes while updaters run.
   uint32_t backups = 3;
+  /// Concurrent sweep workers per backup (0 = legacy one-thread-per-
+  /// partition parallel_partitions mode). With a value >= 2 the sweeps
+  /// run on the database's persistent SweepThreadPool, racing pool
+  /// workers against the updaters — the TSan tier for the sharded
+  /// parallel sweep.
+  uint32_t sweep_threads = 0;
   /// Whether a fourth thread polls Database::GatherStats concurrently
   /// (exercises the stats paths foreground threads read).
   bool poll_stats = true;

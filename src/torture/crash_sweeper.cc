@@ -114,6 +114,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "restore";
     case ScenarioKind::kBatchedBackup:
       return "batched";
+    case ScenarioKind::kParallelBackup:
+      return "parallel";
   }
   return "unknown";
 }
@@ -140,6 +142,7 @@ DbOptions CrashSweeper::MakeDbOptions() const {
   options.backup_steps = scenario_.backup_steps;
   options.backup_batch_pages = scenario_.batch_pages;
   options.backup_pipelined = scenario_.pipelined;
+  options.backup_sweep_threads = scenario_.sweep_threads;
   return options;
 }
 
@@ -337,6 +340,65 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
                            db->TakeIncrementalBackup(kIncrName, kFullName));
       if (!incr.complete) {
         return Status::Internal("batched incremental backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      return db->ForceLog();
+    }
+
+    case ScenarioKind::kParallelBackup: {
+      // Partitions are sharded across sweep workers. The workload (and
+      // hence every log record and identity write) only touches
+      // partition 0, and the mid-step hook only fires there, so the
+      // durability-event total is independent of worker interleaving —
+      // the determinism the crash sweep needs.
+      if (scenario_.partitions < 2) {
+        return Status::InvalidArgument(
+            "parallel scenario needs >= 2 partitions");
+      }
+      BackupJobOptions job;
+      job.steps = scenario_.backup_steps;
+      job.batch_pages = scenario_.batch_pages;
+      job.pipelined = scenario_.pipelined;
+      job.sweep_threads = std::max<uint32_t>(2, scenario_.sweep_threads);
+      job.mid_step = [&](PartitionId partition, uint32_t) {
+        if (partition != 0) return Status::OK();
+        return workload->Update(scenario_.updates_mid);
+      };
+      // Scripted abort scoped to partition 1's backup file: partition 0
+      // completes its sweep while partition 1 dies mid-step — the
+      // interesting shape for the merged cursor (one partition done, one
+      // partial), and deterministic because only the partition-1 worker
+      // writes that file.
+      uint64_t abort_at = scenario_.pages_per_partition / 4 + 2;
+      ScriptedFaultPolicy abort_policy(
+          {{FaultOp::kWriteAt, std::string(kFullName) + ".pages.p1", abort_at,
+            FaultAction::kFail}});
+      e->env.SetPolicy(&abort_policy);
+      Result<BackupManifest> run = db->TakeBackupWithOptions(kFullName, job);
+      e->env.SetPolicy(nullptr);
+      if (run.ok()) {
+        return Status::Internal("scripted parallel abort fault did not fire");
+      }
+      // A scheduled crash can beat the scripted abort; tell them apart by
+      // whether the env is now rejecting all IO.
+      if (e->base.io_blocked()) return run.status();
+      // Partition 1's fences stayed up across the abort; partition 0
+      // finished and reset its own. Updates here land in partition 0 and
+      // log normally.
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest resumed,
+                           db->ResumeBackup(kFullName, job));
+      if (!resumed.complete) {
+        return Status::Internal("resumed parallel backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      // Parallel incremental: all changed pages live in partition 0, so
+      // one worker sweeps real runs while the other advances partition
+      // 1's fences over an empty filter.
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("parallel incremental backup incomplete");
       }
       LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
       return db->ForceLog();

@@ -36,6 +36,15 @@ enum class ScenarioKind {
   /// splitting). Gives every batch fence advance and buffered run write
   /// every-event crash coverage plus nested crashes.
   kBatchedBackup,
+  /// The multi-threaded partitioned sweep: a parallel full backup
+  /// (sweep_threads workers sharding the partitions) whose partition-1
+  /// sweeper is killed mid-step by a scripted fault while partition 0
+  /// completes, updates under the still-up partition-1 fences, a parallel
+  /// Resume from the merged durable cursor (partition 0 skipped, 1
+  /// continued), then a parallel incremental. The workload and the
+  /// mid-step hook touch only partition 0, so the durability-event total
+  /// is deterministic no matter how the sweep workers interleave.
+  kParallelBackup,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);
@@ -68,6 +77,10 @@ struct ScenarioOptions {
   /// sweep so their durability-event sequences stay stable.
   uint32_t batch_pages = 1;
   bool pipelined = false;
+  /// Concurrent sweep workers (kParallelBackup needs >= 2 and >= 2
+  /// partitions; other scenarios keep the serial default so their
+  /// durability-event sequences stay stable).
+  uint32_t sweep_threads = 1;
 };
 
 /// How exhaustively to sweep.

@@ -104,6 +104,23 @@ TEST(NestedCrashTest, CrashDuringRecoveryAfterBatchedBackupCrash) {
   EXPECT_GT(report.nested_points_tested, 0u);
 }
 
+TEST(CrashSweepTest, ParallelBackupScenarioAllPoints) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kParallelBackup, WriteGraphKind::kGeneral);
+  // Two partitions sharded across two pool workers; the scenario's
+  // scripted fault kills partition 1's sweeper mid-step while partition 0
+  // completes, so crash points land before, during, and after the
+  // parallel abort + parallel Resume + parallel incremental.
+  scenario.partitions = 2;
+  scenario.sweep_threads = 2;
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  EXPECT_EQ(report.recoveries_verified, report.points_tested);
+  EXPECT_GT(report.backups_verified, 0u);
+}
+
 TEST(CrashSweepTest, RestoreScenarioAllPoints) {
   CrashSweepReport report =
       SweepAllPoints(ScenarioKind::kRestore, WriteGraphKind::kGeneral);

@@ -4,9 +4,12 @@ tools/benchrunner.
 
 Two layers of checks:
 
-  1. Invariant (always): the current file's derived batched-sweep speedup
-     must meet --min-speedup (default 1.5x) — batching K >= 16 pages has
-     to beat the legacy per-page sweep by that factor on *this* machine.
+  1. Invariants (always): the current file's derived batched-sweep
+     speedup must meet --min-speedup (default 1.5x) — batching K >= 16
+     pages has to beat the legacy per-page sweep by that factor on *this*
+     machine — and its derived parallel-sweep speedup at 4 workers must
+     meet --min-parallel-speedup (default 2.0x) under the LatencyEnv HDD
+     profile (bench_x7_parallel_sweep; EXPERIMENTS.md X7).
 
   2. Baseline comparison (with --baseline): derived metrics are
      throughput *ratios* measured on one machine, so they transfer across
@@ -55,6 +58,9 @@ def main():
                         help="allowed fractional regression vs baseline")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required batched-vs-legacy sweep speedup")
+    parser.add_argument("--min-parallel-speedup", type=float, default=2.0,
+                        help="required 4-worker parallel sweep speedup "
+                             "under the simulated-HDD profile")
     parser.add_argument("--absolute", action="store_true",
                         help="also compare absolute bytes_per_second "
                              "(same-hardware baselines only)")
@@ -74,6 +80,18 @@ def main():
     else:
         print("bench_check: batched sweep speedup %.3fx (>= %.2fx)" %
               (speedup, args.min_speedup))
+
+    parallel = current.get("derived", {}).get("speedup_parallel_t4")
+    if parallel is None:
+        failures.append("current file has no speedup_parallel_t4 "
+                        "(did bench_x7_parallel_sweep run?)")
+    elif parallel < args.min_parallel_speedup:
+        failures.append(
+            "parallel sweep speedup %.3fx at 4 workers < required %.2fx" %
+            (parallel, args.min_parallel_speedup))
+    else:
+        print("bench_check: parallel sweep speedup %.3fx at 4 workers "
+              "(>= %.2fx)" % (parallel, args.min_parallel_speedup))
 
     if args.baseline:
         baseline = load(args.baseline)
