@@ -12,18 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "io/transfer_pipeline.h"
+
 namespace llb {
-
-namespace {
-
-uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - since)
-          .count());
-}
-
-}  // namespace
 
 BackupJob::BackupJob(Env* env, PageStore* stable,
                      BackupCoordinator* coordinator, LogManager* log,
@@ -64,117 +55,8 @@ Status BackupJob::UpdateCursor(BackupCursor* cursor, PartitionId partition,
   return WithRetry([&] { return cursor->Save(env_); });
 }
 
-Status BackupJob::CopyStepBatched(PageStore* dest, PartitionId partition,
-                                  const std::vector<uint32_t>* page_filter,
-                                  uint32_t from, uint32_t to,
-                                  uint64_t* copied) {
-  // Maximal contiguous runs of wanted pages, chopped at batch_pages.
-  // All of [from, to) is inside this step's Doubt window (P has already
-  // been advanced to `to`), so every run — including prefetched ones —
-  // reads only positions whose flushes are identity-logged.
-  std::vector<std::pair<uint32_t, uint32_t>> runs;  // (first, count)
-  for (uint32_t page = from; page < to; ++page) {
-    if (page_filter != nullptr &&
-        !std::binary_search(page_filter->begin(), page_filter->end(), page)) {
-      continue;
-    }
-    if (!runs.empty() &&
-        runs.back().first + runs.back().second == page &&
-        runs.back().second < options_.batch_pages) {
-      ++runs.back().second;
-    } else {
-      runs.emplace_back(page, 1);
-    }
-  }
-  if (runs.empty()) return Status::OK();
-
-  // Reader stage: one latched, checksum-verified vectored read per run.
-  // Runs on a prefetch thread when pipelined; WithRetry and the stats
-  // counters are locked, so the two stages may overlap freely.
-  auto read_run = [this, partition](std::pair<uint32_t, uint32_t> run)
-      -> Result<std::vector<PageImage>> {
-    auto started = std::chrono::steady_clock::now();
-    std::vector<PageImage> images;
-    Status s = WithRetry([&] {
-      return stable_->ReadRun(partition, run.first, run.second, &images);
-    });
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.read_batches;
-      stats_.read_stage_us += ElapsedUs(started);
-    }
-    if (!s.ok()) return s;
-    return images;
-  };
-
-  // Prefetch slot: a pool task filling a shared buffer when a pool is
-  // attached (zero transient threads), else a std::async thread counted
-  // in threads_spawned. When the pool is saturated (its workers are all
-  // busy running partition sweeps), TrySubmit declines and the next read
-  // simply happens inline — slower, never deadlocked.
-  using RunImages = Result<std::vector<PageImage>>;
-  std::shared_ptr<RunImages> pool_slot;
-  std::future<Status> pool_prefetch;
-  std::future<RunImages> async_prefetch;
-
-  Status result;
-  for (size_t i = 0; i < runs.size() && result.ok(); ++i) {
-    RunImages batch = [&]() -> RunImages {
-      if (pool_prefetch.valid()) {
-        Status done = pool_prefetch.get();  // slot is filled once this returns
-        (void)done;                         // same status lives in the slot
-        return std::move(*pool_slot);
-      }
-      if (async_prefetch.valid()) return async_prefetch.get();
-      return read_run(runs[i]);
-    }();
-    // Kick off the next read before draining this batch to B: the writer
-    // stage below overlaps the reader stage filling buffer N+1.
-    if (options_.pipelined && i + 1 < runs.size()) {
-      const std::pair<uint32_t, uint32_t> next_run = runs[i + 1];
-      if (options_.pool != nullptr) {
-        auto slot = std::make_shared<RunImages>(
-            Status::Internal("prefetch task never ran"));
-        std::future<Status> future;
-        if (options_.pool->TrySubmit(
-                [slot, read_run, next_run] {
-                  *slot = read_run(next_run);
-                  return slot->status();
-                },
-                &future)) {
-          pool_slot = std::move(slot);
-          pool_prefetch = std::move(future);
-        }
-      } else {
-        async_prefetch = std::async(std::launch::async, read_run, next_run);
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.threads_spawned;
-      }
-    }
-    if (!batch.ok()) {
-      result = batch.status();
-      break;
-    }
-    auto started = std::chrono::steady_clock::now();
-    result = WithRetry([&] {
-      return dest->WriteSealedRun(partition, runs[i].first, *batch);
-    });
-    if (result.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.write_batches;
-      stats_.write_stage_us += ElapsedUs(started);
-      *copied += batch->size();
-    }
-  }
-  // Drain any in-flight prefetch before returning: its task captures
-  // `this`, which an error return would otherwise let the caller destroy
-  // while a pool worker is still reading. (The std::async future's
-  // destructor blocks on its own.)
-  if (pool_prefetch.valid()) pool_prefetch.wait();
-  return result;
-}
-
-Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
+Status BackupJob::BackupPartition(TransferPipeline* pipeline,
+                                  PartitionId partition,
                                   const std::vector<uint32_t>* page_filter,
                                   uint32_t steps, uint32_t start_from,
                                   BackupCursor* cursor) {
@@ -212,28 +94,15 @@ Status BackupJob::BackupPartition(PageStore* dest, PartitionId partition,
     // cache-manager involvement. Concurrent flushes to these positions
     // are in the Doubt region and hence identity-logged by the cache
     // manager; page-level read/write atomicity is all we need here.
-    // Transient IO errors are retried; if retries are exhausted the sweep
-    // aborts with the fences still up and the cursor at the last
-    // completed step, ready for Resume.
-    if (options_.batch_pages > 1) {
-      LLB_RETURN_IF_ERROR(CopyStepBatched(dest, partition, page_filter,
-                                          copy_from, boundary, &copied));
-    } else {
-      for (uint32_t page = copy_from; page < boundary; ++page) {
-        if (page_filter != nullptr &&
-            !std::binary_search(page_filter->begin(), page_filter->end(),
-                                page)) {
-          continue;
-        }
-        PageId id{partition, page};
-        PageImage image;
-        LLB_RETURN_IF_ERROR(
-            WithRetry([&] { return stable_->ReadPage(id, &image); }));
-        LLB_RETURN_IF_ERROR(
-            WithRetry([&] { return dest->WritePage(id, image); }));
-        ++copied;
-      }
-    }
+    // Transient IO errors are retried (the pipeline wraps every IO in
+    // WithRetry); if retries are exhausted the sweep aborts with the
+    // fences still up and the cursor at the last completed step, ready
+    // for Resume. Each step is one plan, so pipelined prefetch never
+    // reads past this step's Doubt window [D, P).
+    TransferPlan plan;
+    plan.AddRange(partition, copy_from, boundary, page_filter,
+                  options_.batch_pages);
+    LLB_RETURN_IF_ERROR(pipeline->Run(plan, &copied));
     copy_from = boundary;
 
     // All pages below the boundary are now in B: Done. Persist the
@@ -354,7 +223,20 @@ Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
     options_.pool->Grow(need);
   }
 
-  LLB_RETURN_IF_ERROR(RunPartitions([&](PartitionId p) {
+  // One shared pipeline for every partition sweeper: the run-oriented
+  // copy engine (batched vectored IO, double-buffered prefetch) lives in
+  // TransferPipeline; the sweep contributes its retry policy as the IO
+  // wrapper and keeps the fence/cursor protocol to itself.
+  TransferOptions transfer;
+  transfer.batch_pages = options_.batch_pages;
+  transfer.pipelined = options_.pipelined;
+  transfer.pool = options_.pool;
+  transfer.io_wrapper = [this](const std::function<Status()>& fn) {
+    return WithRetry(fn);
+  };
+  TransferPipeline pipeline(stable_, dest.get(), transfer);
+
+  Status swept = RunPartitions([&](PartitionId p) {
     uint32_t start_from = cursor.next_page[p];
     if (start_from >= pages_per_partition_) return Status::OK();
     if (resuming && start_from > 0) {
@@ -363,10 +245,26 @@ Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
       stats_.pages_skipped_on_resume += start_from;
     }
     return BackupPartition(
-        dest.get(), p,
+        &pipeline, p,
         manifest.incremental ? &filters.find(p)->second : nullptr,
         manifest.steps, start_from, options_.resumable ? &cursor : nullptr);
-  }));
+  });
+
+  // Fold the pipeline's transfer counters into the job stats even when
+  // the sweep failed: partial-batch numbers feed the resume diagnostics.
+  // pages_copied is intentionally not taken from the pipeline — each
+  // partition accumulates it so a failed partition still counts exactly
+  // the pages it durably moved.
+  {
+    TransferStats moved = pipeline.StatsSnapshot();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.read_batches += moved.read_batches;
+    stats_.write_batches += moved.write_batches;
+    stats_.read_stage_us += moved.read_stage_us;
+    stats_.write_stage_us += moved.write_stage_us;
+    stats_.threads_spawned += moved.threads_spawned;
+  }
+  LLB_RETURN_IF_ERROR(swept);
 
   manifest.end_lsn = log_->next_lsn() - 1;
   manifest.complete = true;

@@ -9,10 +9,11 @@
 
 #include "backup/backup_progress.h"
 #include "backup/backup_store.h"
-#include "backup/sweep_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "io/env.h"
+#include "io/sweep_pool.h"
+#include "io/transfer_pipeline.h"
 #include "storage/page_store.h"
 #include "wal/log_manager.h"
 
@@ -178,8 +179,9 @@ class BackupJob {
   /// Sweeps one partition from `start_from` (0 for a fresh run). `steps`
   /// comes from the manifest so resumed sweeps reuse the original fence
   /// boundaries. `cursor`, when non-null, is durably updated after every
-  /// completed step.
-  Status BackupPartition(PageStore* dest, PartitionId partition,
+  /// completed step. Page movement goes through `pipeline` (the shared
+  /// TransferPipeline for this sweep), one step's Doubt window per plan.
+  Status BackupPartition(TransferPipeline* pipeline, PartitionId partition,
                          const std::vector<uint32_t>* page_filter,
                          uint32_t steps, uint32_t start_from,
                          BackupCursor* cursor);
@@ -198,14 +200,6 @@ class BackupJob {
 
   /// Effective concurrent sweep-worker count for this job's options.
   uint32_t SweepWorkers() const;
-
-  /// Copies [from, to) of one partition's step in batched runs, double
-  /// buffered when options_.pipelined is set. Pages rejected by
-  /// `page_filter` break runs (incremental backups copy scattered
-  /// changed pages). Adds the number of pages written to `*copied`.
-  Status CopyStepBatched(PageStore* dest, PartitionId partition,
-                         const std::vector<uint32_t>* page_filter,
-                         uint32_t from, uint32_t to, uint64_t* copied);
 
   /// Runs fn, retrying IoError/Corruption failures per options_.retry.
   Status WithRetry(const std::function<Status()>& fn);

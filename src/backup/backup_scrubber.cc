@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/transfer_pipeline.h"
 #include "ops/operation.h"
 #include "recovery/redo.h"
 #include "storage/page.h"
@@ -14,6 +15,10 @@
 namespace llb {
 
 namespace {
+
+/// Pages per bulk repair IO when re-copying from S. Repair runs offline
+/// (or quiesced), so this is purely a throughput knob.
+constexpr uint32_t kRepairBatchPages = 32;
 
 /// Best-effort removal of a page store's files (the scrub scratch store).
 void RemoveStoreFiles(Env* env, const std::string& prefix,
@@ -26,36 +31,112 @@ void RemoveStoreFiles(Env* env, const std::string& prefix,
 
 }  // namespace
 
-Status BackupScrubber::RepairPage(PageStore* store,
-                                  const BackupManifest& manifest,
-                                  const PageId& id, ScrubReport* report) {
+Status BackupScrubber::RepairManifest(PageStore* store,
+                                      const BackupManifest& manifest,
+                                      const std::vector<PageId>& bad,
+                                      ScrubReport* report) {
   // Both repair paths log an identity write, so without the log there is
   // nothing sound we can do.
   if (options_.log == nullptr) {
-    ++report->unrepaired;
+    report->unrepaired += bad.size();
     return Status::OK();
   }
-  // Make the log tail durable: the rebuild below replays only durable
-  // records, and the identity write must not outrank buffered ones.
+  // Make the log tail durable: the rebuild paths replay only durable
+  // records, and the identity writes must not outrank buffered ones.
   LLB_RETURN_IF_ERROR(options_.log->Force());
 
-  // Source 1: re-read the page from the live stable database S, after
-  // installing any newer uninstalled value so the image is current.
-  PageImage image;
-  bool have_image = false;
-  bool from_log = false;
-  if (options_.stable != nullptr) {
-    if (options_.install_current) {
-      LLB_RETURN_IF_ERROR(options_.install_current(id));
+  // Split the damage by repair source. Source 1 is the live stable
+  // database S: probe each page (after installing any newer uninstalled
+  // value, so the re-copy captures the page's CURRENT image). Whatever S
+  // cannot supply falls to the per-page log rebuild.
+  std::vector<PageId> from_stable;
+  std::vector<PageId> from_log;
+  for (const PageId& id : bad) {
+    bool healthy = false;
+    if (options_.stable != nullptr) {
+      if (options_.install_current) {
+        LLB_RETURN_IF_ERROR(options_.install_current(id));
+      }
+      PageImage probe;
+      healthy = options_.stable->ReadPage(id, &probe).ok();
     }
-    have_image = options_.stable->ReadPage(id, &image).ok();
+    (healthy ? from_stable : from_log).push_back(id);
   }
 
-  // Source 2: S is bad too (or absent) — rebuild the page by media-
-  // recovery redo: re-execute the partition's log history from LSN 1
-  // onto an empty scratch store. Sound only if the log still reaches
-  // back to its first record.
-  if (!have_image && options_.registry != nullptr) {
+  // Re-copy S -> B in bulk runs (adjacent bad pages coalesce; scattered
+  // ones become runs of 1). The fence protocol moves to run granularity:
+  // per run, every page's identity write W_IP(X) is appended and forced
+  // BEFORE the run is installed in B (Iw/oF — log before install), all
+  // under the partition's backup latch in share mode so a concurrent
+  // sweep's fences cannot move mid-repair.
+  if (!from_stable.empty()) {
+    TransferOptions transfer;
+    transfer.batch_pages = kRepairBatchPages;
+    transfer.transform = [this](const TransferRun& run,
+                                std::vector<PageImage>* images) -> Status {
+      std::vector<Lsn> lsns(images->size(), kInvalidLsn);
+      for (size_t i = 0; i < images->size(); ++i) {
+        PageId id{run.partition, run.first_page + static_cast<uint32_t>(i)};
+        LogRecord rec = MakeIdentityWrite(id, (*images)[i]);
+        options_.log->Append(&rec);
+        lsns[i] = rec.lsn;
+      }
+      LLB_RETURN_IF_ERROR(options_.log->Force());
+      // Redo of W_IP stamps the page with the record's LSN, so stamp
+      // (and re-seal — the batched writer installs raw bytes) the copies
+      // the same way: B and the healed S must be byte-identical to what
+      // any recovery replaying these records produces.
+      for (size_t i = 0; i < images->size(); ++i) {
+        (*images)[i].set_lsn(lsns[i]);
+        (*images)[i].Seal();
+      }
+      return Status::OK();
+    };
+    transfer.after_run = [this, report](
+                             const TransferRun& run,
+                             const std::vector<PageImage>& images) -> Status {
+      // Heal S with the repaired images (here: just the advanced LSNs,
+      // since S was the source).
+      if (options_.stable != nullptr) {
+        LLB_RETURN_IF_ERROR(options_.stable->WriteSealedRun(
+            run.partition, run.first_page, images));
+      }
+      report->repaired_from_stable += images.size();
+      return Status::OK();
+    };
+    TransferPipeline pipeline(options_.stable, store, transfer);
+    TransferPlan plan;
+    plan.AddPages(from_stable, kRepairBatchPages);
+    for (const TransferRun& run : plan.runs()) {
+      std::shared_lock<std::shared_mutex> latch;
+      if (options_.coordinator != nullptr) {
+        latch = std::shared_lock<std::shared_mutex>(
+            options_.coordinator->Get(run.partition)->latch());
+      }
+      TransferPlan one;
+      one.AddRun(run);
+      LLB_RETURN_IF_ERROR(pipeline.Run(one));
+    }
+  }
+
+  for (const PageId& id : from_log) {
+    LLB_RETURN_IF_ERROR(RepairPageFromLog(store, manifest, id, report));
+  }
+  return Status::OK();
+}
+
+Status BackupScrubber::RepairPageFromLog(PageStore* store,
+                                         const BackupManifest& manifest,
+                                         const PageId& id,
+                                         ScrubReport* report) {
+  PageImage image;
+  bool have_image = false;
+
+  // S is bad too (or absent) — rebuild the page by media-recovery redo:
+  // re-execute the partition's log history from LSN 1 onto an empty
+  // scratch store. Sound only if the log still reaches back to its first
+  // record.
+  if (options_.registry != nullptr) {
     Lsn first = kInvalidLsn;
     Status scan = options_.log->Scan(1, [&](const LogRecord& rec) {
       first = rec.lsn;
@@ -79,10 +160,7 @@ Status BackupScrubber::RepairPage(PageStore* store,
       scratch.reset();
       RemoveStoreFiles(env_, scratch_prefix, manifest.partitions);
       if (!redo.ok()) return redo.status();
-      if (read.ok()) {
-        have_image = true;
-        from_log = true;
-      }
+      if (read.ok()) have_image = true;
     }
   }
 
@@ -110,17 +188,12 @@ Status BackupScrubber::RepairPage(PageStore* store,
     // byte-identical to what any recovery replaying this record produces.
     image.set_lsn(rec.lsn);
     LLB_RETURN_IF_ERROR(store->WritePage(id, image));
-    // Heal S with the repaired image: rebuilt content after a log
-    // rebuild, or just the advanced LSN when S itself was the source.
+    // Heal S with the rebuilt image.
     if (options_.stable != nullptr) {
       LLB_RETURN_IF_ERROR(options_.stable->WritePage(id, image));
     }
   }
-  if (from_log) {
-    ++report->repaired_from_log;
-  } else {
-    ++report->repaired_from_stable;
-  }
+  ++report->repaired_from_log;
   return Status::OK();
 }
 
@@ -159,6 +232,10 @@ Result<ScrubReport> BackupScrubber::Scrub(const std::string& backup_name) {
   for (const BackupManifest& m : chain) {
     LLB_ASSIGN_OR_RETURN(std::unique_ptr<PageStore> store,
                          PageStore::Open(env_, m.StoreName(), m.partitions));
+    // Verify pass first, collecting the damage; repair then moves whole
+    // runs of adjacent bad pages at once. The scan stays per-page — its
+    // granularity is checksum verification, not bulk movement.
+    std::vector<PageId> bad;
     auto check = [&](const PageId& id) -> Status {
       ++report.pages_scanned;
       PageImage image;
@@ -168,8 +245,8 @@ Result<ScrubReport> BackupScrubber::Scrub(const std::string& backup_name) {
       // anything else (e.g. bad partition id) is a scrub failure.
       if (!s.IsCorruption() && !s.IsIoError()) return s;
       ++report.bad_pages;
-      if (!options_.repair) return Status::OK();
-      return RepairPage(store.get(), m, id, &report);
+      if (options_.repair) bad.push_back(id);
+      return Status::OK();
     };
     if (m.incremental) {
       for (const PageId& id : m.pages) LLB_RETURN_IF_ERROR(check(id));
@@ -179,6 +256,9 @@ Result<ScrubReport> BackupScrubber::Scrub(const std::string& backup_name) {
           LLB_RETURN_IF_ERROR(check(PageId{p, page}));
         }
       }
+    }
+    if (!bad.empty()) {
+      LLB_RETURN_IF_ERROR(RepairManifest(store.get(), m, bad, &report));
     }
   }
   return report;

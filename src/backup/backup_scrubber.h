@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "backup/backup_progress.h"
 #include "backup/backup_store.h"
@@ -107,8 +108,17 @@ class BackupScrubber {
   Result<ScrubReport> Scrub(const std::string& backup_name);
 
  private:
-  Status RepairPage(PageStore* store, const BackupManifest& manifest,
-                    const PageId& id, ScrubReport* report);
+  /// Repairs one manifest's bad pages (sorted). Pages a healthy S can
+  /// supply are re-copied in bulk runs through a TransferPipeline
+  /// (identity writes logged per run, Iw/oF preserved); the rest fall
+  /// back to per-page media-recovery redo from the log.
+  Status RepairManifest(PageStore* store, const BackupManifest& manifest,
+                        const std::vector<PageId>& bad, ScrubReport* report);
+
+  /// Source-2 repair: rebuild `id` by replaying the log from its first
+  /// record onto a scratch store, then install under the fence protocol.
+  Status RepairPageFromLog(PageStore* store, const BackupManifest& manifest,
+                           const PageId& id, ScrubReport* report);
 
   Env* const env_;
   const ScrubOptions options_;

@@ -159,6 +159,13 @@ Result<ScrubReport> Database::ScrubBackup(const std::string& backup_name) {
   return scrubber.Scrub(backup_name);
 }
 
+Result<MediaRecoveryReport> Database::RestoreFromBackup(
+    Env* env, const std::string& name, const std::string& backup_name,
+    const OpRegistry& registry, const RestoreOptions& options) {
+  return RestoreFromBackupWithOptions(env, StableName(name), LogName(name),
+                                      backup_name, registry, options);
+}
+
 Result<BackupManifest> Database::TakeIncrementalBackup(
     const std::string& backup_name, const std::string& base_name,
     uint32_t steps) {

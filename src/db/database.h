@@ -16,6 +16,7 @@
 #include "db/stats.h"
 #include "io/env.h"
 #include "ops/op_registry.h"
+#include "recovery/media_recovery.h"
 #include "recovery/redo.h"
 #include "storage/page_store.h"
 #include "wal/log_manager.h"
@@ -143,6 +144,17 @@ class Database {
   /// S is bad too (healing S as a side effect). Run quiesced — see
   /// BackupScrubber's repair caveats.
   Result<ScrubReport> ScrubBackup(const std::string& backup_name);
+
+  /// Offline media recovery for the database called `name`: restores S
+  /// from `backup_name`'s chain (base + incrementals, coalesced) and
+  /// rolls the log forward. `registry` must hold the same operations the
+  /// database logs with. Must NOT run while a Database over `name` is
+  /// open — media recovery owns the store files. RestoreOptions carries
+  /// the bulk-transfer knobs (batch_pages / pipelined / threads) and the
+  /// point-in-time / single-partition targets.
+  static Result<MediaRecoveryReport> RestoreFromBackup(
+      Env* env, const std::string& name, const std::string& backup_name,
+      const OpRegistry& registry, const RestoreOptions& options = {});
 
   OpRegistry* registry() { return &registry_; }
   /// The persistent worker pool every Database-driven backup runs on

@@ -1,4 +1,4 @@
-#include "backup/sweep_pool.h"
+#include "io/sweep_pool.h"
 
 #include <utility>
 

@@ -1,5 +1,5 @@
-#ifndef LLB_BACKUP_SWEEP_POOL_H_
-#define LLB_BACKUP_SWEEP_POOL_H_
+#ifndef LLB_IO_SWEEP_POOL_H_
+#define LLB_IO_SWEEP_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
@@ -75,4 +75,4 @@ class SweepThreadPool {
 
 }  // namespace llb
 
-#endif  // LLB_BACKUP_SWEEP_POOL_H_
+#endif  // LLB_IO_SWEEP_POOL_H_

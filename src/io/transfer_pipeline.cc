@@ -1,0 +1,295 @@
+#include "io/transfer_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/result.h"
+
+namespace llb {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+void TransferPlan::AddRange(PartitionId partition, uint32_t from, uint32_t to,
+                            const std::vector<uint32_t>* page_filter,
+                            uint32_t batch_pages) {
+  const uint32_t batch = std::max<uint32_t>(1, batch_pages);
+  const size_t first_new = runs_.size();
+  for (uint32_t page = from; page < to; ++page) {
+    if (page_filter != nullptr &&
+        !std::binary_search(page_filter->begin(), page_filter->end(), page)) {
+      continue;
+    }
+    if (runs_.size() > first_new &&
+        runs_.back().first_page + runs_.back().count == page &&
+        runs_.back().count < batch) {
+      ++runs_.back().count;
+    } else {
+      runs_.push_back(TransferRun{partition, page, 1});
+    }
+  }
+}
+
+void TransferPlan::AddPages(const std::vector<PageId>& pages,
+                            uint32_t batch_pages) {
+  const uint32_t batch = std::max<uint32_t>(1, batch_pages);
+  const size_t first_new = runs_.size();
+  for (const PageId& id : pages) {
+    if (runs_.size() > first_new && runs_.back().partition == id.partition &&
+        runs_.back().first_page + runs_.back().count == id.page &&
+        runs_.back().count < batch) {
+      ++runs_.back().count;
+    } else {
+      runs_.push_back(TransferRun{id.partition, id.page, 1});
+    }
+  }
+}
+
+uint64_t TransferPlan::pages() const {
+  uint64_t total = 0;
+  for (const TransferRun& run : runs_) total += run.count;
+  return total;
+}
+
+void TransferStats::MergeFrom(const TransferStats& other) {
+  pages_moved += other.pages_moved;
+  read_batches += other.read_batches;
+  write_batches += other.write_batches;
+  read_stage_us += other.read_stage_us;
+  write_stage_us += other.write_stage_us;
+  threads_spawned += other.threads_spawned;
+}
+
+Status TransferPipeline::ExecutePerPage(const TransferRun& run,
+                                        uint64_t* pages_moved) {
+  // Legacy mode: the exact IO sequence of the historical copy loops —
+  // one checksum-verified ReadPage and one seal + write + sync WritePage
+  // per page — so scripted fault countdowns and recorded durability-event
+  // sequences stay stable at batch_pages = 1.
+  for (uint32_t i = 0; i < run.count; ++i) {
+    PageId id{run.partition, run.first_page + i};
+    PageImage image;
+    LLB_RETURN_IF_ERROR(
+        CallIo([&] { return source_->ReadPage(id, &image); }));
+    if (options_.transform) {
+      std::vector<PageImage> one(1, image);
+      TransferRun single{run.partition, id.page, 1};
+      LLB_RETURN_IF_ERROR(options_.transform(single, &one));
+      image = std::move(one.front());
+    }
+    LLB_RETURN_IF_ERROR(CallIo([&] { return dest_->WritePage(id, image); }));
+    if (options_.after_run) {
+      TransferRun single{run.partition, id.page, 1};
+      LLB_RETURN_IF_ERROR(
+          options_.after_run(single, std::vector<PageImage>(1, image)));
+    }
+    ++*pages_moved;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.pages_moved;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransferPipeline::WriteRun(const TransferRun& run,
+                                  std::vector<PageImage>* images,
+                                  uint64_t* pages_moved) {
+  if (options_.transform) {
+    LLB_RETURN_IF_ERROR(options_.transform(run, images));
+  }
+  auto started = std::chrono::steady_clock::now();
+  LLB_RETURN_IF_ERROR(CallIo([&] {
+    return dest_->WriteSealedRun(run.partition, run.first_page, *images);
+  }));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.write_batches;
+    stats_.write_stage_us += ElapsedUs(started);
+    stats_.pages_moved += images->size();
+  }
+  *pages_moved += images->size();
+  if (options_.after_run) {
+    LLB_RETURN_IF_ERROR(options_.after_run(run, *images));
+  }
+  return Status::OK();
+}
+
+Status TransferPipeline::ExecuteRuns(const TransferRun* runs, size_t count,
+                                     uint64_t* pages_moved) {
+  if (options_.batch_pages <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      LLB_RETURN_IF_ERROR(ExecutePerPage(runs[i], pages_moved));
+    }
+    return Status::OK();
+  }
+
+  // Reader stage: one latched, checksum-verified vectored read per run.
+  // Runs on a prefetch thread when pipelined; the io_wrapper and the
+  // stats counters are locked, so the two stages may overlap freely.
+  auto read_run = [this](TransferRun run) -> Result<std::vector<PageImage>> {
+    auto started = std::chrono::steady_clock::now();
+    std::vector<PageImage> images;
+    Status s = CallIo([&] {
+      return source_->ReadRun(run.partition, run.first_page, run.count,
+                              &images);
+    });
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.read_batches;
+      stats_.read_stage_us += ElapsedUs(started);
+    }
+    if (!s.ok()) return s;
+    return images;
+  };
+
+  // Prefetch slot: a pool task filling a shared buffer when a pool is
+  // attached (zero transient threads), else a std::async thread counted
+  // in threads_spawned. When the pool is saturated (its workers are all
+  // busy running partition sweeps), TrySubmit declines and the next read
+  // simply happens inline — slower, never deadlocked.
+  using RunImages = Result<std::vector<PageImage>>;
+  std::shared_ptr<RunImages> pool_slot;
+  std::future<Status> pool_prefetch;
+  std::future<RunImages> async_prefetch;
+
+  Status result;
+  for (size_t i = 0; i < count && result.ok(); ++i) {
+    RunImages batch = [&]() -> RunImages {
+      if (pool_prefetch.valid()) {
+        Status done = pool_prefetch.get();  // slot is filled once this returns
+        (void)done;                         // same status lives in the slot
+        return std::move(*pool_slot);
+      }
+      if (async_prefetch.valid()) return async_prefetch.get();
+      return read_run(runs[i]);
+    }();
+    // Kick off the next read before draining this batch to the
+    // destination: the writer stage below overlaps the reader stage
+    // filling buffer N+1.
+    if (options_.pipelined && i + 1 < count) {
+      const TransferRun next_run = runs[i + 1];
+      if (options_.pool != nullptr) {
+        auto slot = std::make_shared<RunImages>(
+            Status::Internal("prefetch task never ran"));
+        std::future<Status> future;
+        if (options_.pool->TrySubmit(
+                [slot, read_run, next_run] {
+                  *slot = read_run(next_run);
+                  return slot->status();
+                },
+                &future)) {
+          pool_slot = std::move(slot);
+          pool_prefetch = std::move(future);
+        }
+      } else {
+        async_prefetch = std::async(std::launch::async, read_run, next_run);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.threads_spawned;
+      }
+    }
+    if (!batch.ok()) {
+      result = batch.status();
+      break;
+    }
+    result = WriteRun(runs[i], &batch.value(), pages_moved);
+  }
+  // Drain any in-flight prefetch before returning: its task captures
+  // `this`, which an error return would otherwise let the caller destroy
+  // while a pool worker is still reading. (The std::async future's
+  // destructor blocks on its own.)
+  if (pool_prefetch.valid()) pool_prefetch.wait();
+  return result;
+}
+
+Status TransferPipeline::Run(const TransferPlan& plan,
+                             uint64_t* pages_moved) {
+  uint64_t moved = 0;
+  Status s = ExecuteRuns(plan.runs().data(), plan.runs().size(), &moved);
+  if (pages_moved != nullptr) *pages_moved += moved;
+  return s;
+}
+
+Status TransferPipeline::RunParallel(const TransferPlan& plan,
+                                     uint64_t* pages_moved) {
+  // Group runs by partition, preserving their order within each group:
+  // every partition stays single-writer, so parallel output is byte-
+  // identical to serial (the partition stores serialize per-partition
+  // anyway — cross-partition concurrency is where the device overlap is).
+  std::vector<std::vector<TransferRun>> groups;
+  for (const TransferRun& run : plan.runs()) {
+    if (groups.empty() || groups.back().front().partition != run.partition) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(run);
+  }
+
+  const uint32_t workers =
+      std::min<uint32_t>(std::max<uint32_t>(1, options_.workers),
+                         static_cast<uint32_t>(groups.size()));
+  if (workers <= 1) return Run(plan, pages_moved);
+
+  // Workers claim the next unmoved partition group from a shared
+  // counter. A failed group does not stop the others — each partition's
+  // pages land or fail independently, and the first error is returned.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto moved_total = std::make_shared<std::atomic<uint64_t>>(0);
+  auto worker = [this, next, moved_total, &groups]() -> Status {
+    Status result;
+    for (size_t g = next->fetch_add(1); g < groups.size();
+         g = next->fetch_add(1)) {
+      uint64_t moved = 0;
+      Status s =
+          ExecuteRuns(groups[g].data(), groups[g].size(), &moved);
+      moved_total->fetch_add(moved);
+      if (result.ok() && !s.ok()) result = s;
+    }
+    return result;
+  };
+
+  Status result;
+  if (options_.pool != nullptr) {
+    options_.pool->Grow(workers);
+    std::vector<std::future<Status>> futures;
+    futures.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      futures.push_back(options_.pool->Submit(worker));
+    }
+    for (std::future<Status>& future : futures) {
+      Status s = future.get();
+      if (result.ok() && !s.ok()) result = s;
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.threads_spawned += workers;
+    }
+    std::vector<Status> results(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      threads.emplace_back([&results, &worker, i]() { results[i] = worker(); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& s : results) {
+      if (result.ok() && !s.ok()) result = s;
+    }
+  }
+  if (pages_moved != nullptr) *pages_moved += moved_total->load();
+  return result;
+}
+
+}  // namespace llb

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "io/transfer_pipeline.h"
 #include "storage/page_store.h"
 #include "wal/log_manager.h"
 #include "wal/log_record.h"
@@ -90,41 +92,48 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
       std::unique_ptr<PageStore> stable,
       PageStore::Open(env, stable_prefix, base.partitions));
 
-  // 1. Restore the full base backup: copy pages B -> S (all partitions,
-  //    or just the failed one).
-  {
-    LLB_ASSIGN_OR_RETURN(
-        std::unique_ptr<PageStore> backup,
-        PageStore::Open(env, base.StoreName(), base.partitions));
-    for (PartitionId p = 0; p < base.partitions; ++p) {
-      if (options.partition_only && p != options.partition) continue;
-      for (uint32_t page = 0; page < base.pages_per_partition; ++page) {
-        PageId id{p, page};
-        PageImage image;
-        LLB_RETURN_IF_ERROR(backup->ReadPage(id, &image));
-        LLB_RETURN_IF_ERROR(stable->WritePage(id, image));
-        ++report.pages_restored;
-      }
-    }
-    ++report.backups_applied;
-  }
-
-  // 2. Apply incremental deltas in order.
+  // 1. + 2. Restore the chain, coalesced: compute the newest-wins
+  //    page -> chain-member map first, then bulk-transfer each member's
+  //    surviving pages as runs. Every position lands in S exactly once,
+  //    from the newest chain member carrying it — the naive in-order
+  //    apply wrote every superseded delta page only to overwrite it.
+  std::unordered_map<uint64_t, size_t> newest_carrier;
   for (size_t i = 1; i < chain.size(); ++i) {
-    const BackupManifest& delta = chain[i];
+    for (const PageId& id : chain[i].pages) {
+      newest_carrier[(uint64_t{id.partition} << 32) | id.page] = i;
+    }
+  }
+  std::vector<std::vector<PageId>> claims(chain.size());
+  for (PartitionId p = 0; p < base.partitions; ++p) {
+    if (options.partition_only && p != options.partition) continue;
+    for (uint32_t page = 0; page < base.pages_per_partition; ++page) {
+      auto it = newest_carrier.find((uint64_t{p} << 32) | page);
+      claims[it == newest_carrier.end() ? 0 : it->second].push_back(
+          PageId{p, page});
+    }
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    // Applied even when all its pages are superseded — the member's
+    // manifest was still consulted, and the count stays the chain length.
+    ++report.backups_applied;
+    if (claims[i].empty()) continue;
     LLB_ASSIGN_OR_RETURN(
         std::unique_ptr<PageStore> store,
-        PageStore::Open(env, delta.StoreName(), delta.partitions));
-    for (const PageId& id : delta.pages) {
-      if (options.partition_only && id.partition != options.partition) {
-        continue;
-      }
-      PageImage image;
-      LLB_RETURN_IF_ERROR(store->ReadPage(id, &image));
-      LLB_RETURN_IF_ERROR(stable->WritePage(id, image));
-      ++report.pages_restored;
-    }
-    ++report.backups_applied;
+        PageStore::Open(env, chain[i].StoreName(), chain[i].partitions));
+    // claims[i] is partition-major sorted by construction, so AddPages
+    // coalesces adjacent survivors into maximal runs.
+    TransferPlan plan;
+    plan.AddPages(claims[i], options.batch_pages);
+    TransferOptions transfer;
+    transfer.batch_pages = options.batch_pages;
+    transfer.pipelined = options.pipelined;
+    transfer.workers = options.threads;
+    TransferPipeline pipeline(store.get(), stable.get(), transfer);
+    uint64_t moved = 0;
+    Status s = options.threads > 1 ? pipeline.RunParallel(plan, &moved)
+                                   : pipeline.Run(plan, &moved);
+    report.pages_restored += moved;
+    LLB_RETURN_IF_ERROR(s);
   }
 
   // 3. Roll forward from the newest backup's scan start point.

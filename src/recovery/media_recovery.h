@@ -49,6 +49,20 @@ struct RestoreOptions {
   /// left untouched.
   bool partition_only = false;
   PartitionId partition = 0;
+
+  /// Pages per bulk B -> S device IO (the restore's K, mirroring
+  /// BackupJobOptions::batch_pages). <= 1 restores page at a time.
+  /// Restore runs offline, so there is no fence protocol to respect —
+  /// batching is purely a throughput knob and the default is batched.
+  uint32_t batch_pages = 32;
+  /// Double-buffered prefetch: read run N+1 from B while run N drains
+  /// into S (only effective with batch_pages > 1).
+  bool pipelined = false;
+  /// Concurrent restore workers; partitions are sharded across them
+  /// exactly like the parallel backup sweep (each partition's pages stay
+  /// on one worker). 1 = serial. RTO scales with workers the way
+  /// bench_x8 shows.
+  uint32_t threads = 1;
 };
 
 Result<MediaRecoveryReport> RestoreFromBackupWithOptions(

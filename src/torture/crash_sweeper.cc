@@ -116,6 +116,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "batched";
     case ScenarioKind::kParallelBackup:
       return "parallel";
+    case ScenarioKind::kParallelRestore:
+      return "restore-parallel";
   }
   return "unknown";
 }
@@ -157,6 +159,24 @@ std::unique_ptr<ScenarioWorkload> MakeWorkload(Database* db,
       db, std::min<uint32_t>(s.pages_per_partition, 24), s.seed);
 }
 
+/// The RestoreOptions every off-line restore of this scenario uses —
+/// including salvage restores after a crash, so crash-during-restore
+/// coverage exercises the same transfer configuration the scenario
+/// targets. Pre-existing scenarios stay on the per-page legacy path
+/// (their documented contract: stable durability-event sequences);
+/// kParallelRestore turns on batched runs, prefetch, and >= 2 workers.
+RestoreOptions RestoreOptionsForScenario(const ScenarioOptions& s) {
+  RestoreOptions options;
+  if (s.kind == ScenarioKind::kParallelRestore) {
+    options.batch_pages = std::max<uint32_t>(2, s.batch_pages);
+    options.pipelined = s.pipelined;
+    options.threads = std::max<uint32_t>(2, s.sweep_threads);
+  } else {
+    options.batch_pages = 1;
+  }
+  return options;
+}
+
 /// True iff a backup called `name` finished before the crash (a torn
 /// final manifest save reverts to the durable incomplete version, so a
 /// load failure here is a real error, not a crash artifact).
@@ -179,7 +199,8 @@ Result<bool> ChainComplete(TortureEngine* e, const std::string& name) {
 /// off-line media recovery checked against the oracle. Leaves the engine
 /// open. Incomplete backups are deliberately ignored: Resume's fence
 /// precondition does not survive a process crash.
-Status VerifyCompletedChains(TortureEngine* e, CrashSweepReport* report) {
+Status VerifyCompletedChains(TortureEngine* e, const RestoreOptions& restore,
+                             CrashSweepReport* report) {
   LLB_ASSIGN_OR_RETURN(bool incr_ok, ChainComplete(e, kIncrName));
   std::string chain;
   if (incr_ok) {
@@ -202,7 +223,7 @@ Status VerifyCompletedChains(TortureEngine* e, CrashSweepReport* report) {
   e->Shutdown();
   LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
   LLB_RETURN_IF_ERROR(WipeStable(e));
-  LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn));
+  LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn, restore));
   LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
   LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
   LLB_RETURN_IF_ERROR(e->Open());
@@ -431,6 +452,43 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
       return e->Open();
     }
+
+    case ScenarioKind::kParallelRestore: {
+      // The restore-side twin of kParallelBackup: the same chain-and-
+      // restore pipeline as kRestore, but every off-line restore runs
+      // through the TransferPipeline with multi-page runs and >= 2
+      // workers sharding the partitions. Crashes land mid-parallel-
+      // restore; the durability-event TOTAL is interleaving-independent
+      // (a fixed run set is written either way), which is all the
+      // count-based sweep contract needs.
+      if (scenario_.partitions < 2) {
+        return Status::InvalidArgument(
+            "parallel restore scenario needs >= 2 partitions");
+      }
+      LLB_ASSIGN_OR_RETURN(BackupManifest full,
+                           db->TakeBackup(kFullName, scenario_.backup_steps));
+      if (!full.complete) return Status::Internal("full backup incomplete");
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("incremental backup incomplete");
+      }
+      Lsn pitr_lsn = incr.end_lsn;
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_RETURN_IF_ERROR(db->ForceLog());
+
+      const RestoreOptions restore = RestoreOptionsForScenario(scenario_);
+      e->Shutdown();
+      LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
+      LLB_RETURN_IF_ERROR(WipeStable(e));
+      LLB_RETURN_IF_ERROR(OfflineRestore(e, kIncrName, pitr_lsn, restore));
+      LLB_RETURN_IF_ERROR(VerifyStableOffline(e, pitr_lsn));
+      LLB_RETURN_IF_ERROR(OfflineRestore(e, kIncrName, kInvalidLsn, restore));
+      LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
+      LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+      return e->Open();
+    }
   }
   return Status::Internal("unknown scenario kind");
 }
@@ -451,7 +509,8 @@ Status CrashSweeper::Salvage(TortureEngine* e,
       }
       chain = kFullName;
     }
-    LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn));
+    LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn,
+                                       RestoreOptionsForScenario(scenario_)));
     LLB_RETURN_IF_ERROR(VerifyStableOffline(e, kInvalidLsn));
     LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
     ++report->salvage_restores;
@@ -465,7 +524,8 @@ Status CrashSweeper::Salvage(TortureEngine* e,
   LLB_RETURN_IF_ERROR(e->Open());
   LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
   ++report->recoveries_verified;
-  return VerifyCompletedChains(e, report);
+  return VerifyCompletedChains(e, RestoreOptionsForScenario(scenario_),
+                               report);
 }
 
 Status CrashSweeper::CrashScenarioAt(TortureEngine* e, uint64_t k) const {
@@ -570,7 +630,8 @@ Result<CrashSweepReport> CrashSweeper::Sweep(const SweepOptions& options) {
     }
     report.total_events = recorder.count();
     LLB_RETURN_IF_ERROR(VerifyOpenDb(&engine));
-    LLB_RETURN_IF_ERROR(VerifyCompletedChains(&engine, &report));
+    LLB_RETURN_IF_ERROR(VerifyCompletedChains(
+        &engine, RestoreOptionsForScenario(scenario_), &report));
   }
   if (report.total_events == 0) {
     return Status::Internal("scenario produced no durability events");

@@ -45,6 +45,17 @@ enum class ScenarioKind {
   /// mid-step hook touch only partition 0, so the durability-event total
   /// is deterministic no matter how the sweep workers interleave.
   kParallelBackup,
+  /// The batched + parallel restore path: full + incremental chain, then
+  /// the kRestore sequence (PITR restore, full restore, reopen) executed
+  /// through the TransferPipeline with multi-page runs, double-buffered
+  /// prefetch, and >= 2 restore workers sharding the partitions. Crashes
+  /// land mid-parallel-restore: the restore-marker protocol must route
+  /// salvage to a re-restore (itself parallel) rather than plain crash
+  /// redo, including nested crashes during that salvage restore. The
+  /// durability-event TOTAL stays deterministic because each restore
+  /// writes a fixed run set — worker interleaving permutes event order
+  /// only, and the sweeper's contract is count-based.
+  kParallelRestore,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);
@@ -77,9 +88,10 @@ struct ScenarioOptions {
   /// sweep so their durability-event sequences stay stable.
   uint32_t batch_pages = 1;
   bool pipelined = false;
-  /// Concurrent sweep workers (kParallelBackup needs >= 2 and >= 2
-  /// partitions; other scenarios keep the serial default so their
-  /// durability-event sequences stay stable).
+  /// Concurrent sweep workers (kParallelBackup / kParallelRestore need
+  /// >= 2 and >= 2 partitions; other scenarios keep the serial default so
+  /// their durability-event sequences stay stable). kParallelRestore also
+  /// reuses this (and batch_pages / pipelined) as its RestoreOptions.
   uint32_t sweep_threads = 1;
 };
 

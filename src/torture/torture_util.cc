@@ -80,11 +80,12 @@ Status WipeStable(TortureEngine* e) {
 }
 
 Status OfflineRestore(TortureEngine* e, const std::string& chain,
-                      Lsn stop_at_lsn) {
+                      Lsn stop_at_lsn, RestoreOptions base) {
   OpRegistry registry;
   RegisterAllOps(&registry);
-  RestoreOptions options;
+  RestoreOptions options = base;
   options.stop_at_lsn = stop_at_lsn;
+  options.partition_only = false;
   LLB_ASSIGN_OR_RETURN(
       MediaRecoveryReport report,
       RestoreFromBackupWithOptions(&e->env, Database::StableName(e->name),

@@ -8,7 +8,7 @@
 #include <thread>
 #include <vector>
 
-#include "backup/sweep_pool.h"
+#include "io/sweep_pool.h"
 #include "filestore/filestore.h"
 #include "sim/oracle.h"
 #include "tests/test_util.h"

@@ -132,6 +132,25 @@ TEST(CrashSweepTest, RestoreScenarioAllPoints) {
   EXPECT_GT(report.salvage_restores, 0u);
 }
 
+TEST(CrashSweepTest, ParallelRestoreScenarioAllPoints) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kParallelRestore, WriteGraphKind::kGeneral);
+  // Two partitions so the restore workers actually shard; multi-page
+  // batched runs with prefetch. Crash points inside the wipe/restore
+  // window must take the marker path and re-run the *parallel* restore.
+  scenario.partitions = 2;
+  scenario.sweep_threads = 2;
+  scenario.batch_pages = 8;
+  scenario.pipelined = true;
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  EXPECT_EQ(report.recoveries_verified, report.points_tested);
+  EXPECT_GT(report.backups_verified, 0u);
+  EXPECT_GT(report.salvage_restores, 0u);
+}
+
 TEST(CrashSweepTest, SweepIsDeterministic) {
   SweepOptions options;
   options.max_points = 10;

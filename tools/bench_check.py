@@ -7,9 +7,12 @@ Two layers of checks:
   1. Invariants (always): the current file's derived batched-sweep
      speedup must meet --min-speedup (default 1.5x) — batching K >= 16
      pages has to beat the legacy per-page sweep by that factor on *this*
-     machine — and its derived parallel-sweep speedup at 4 workers must
+     machine — its derived parallel-sweep speedup at 4 workers must
      meet --min-parallel-speedup (default 2.0x) under the LatencyEnv HDD
-     profile (bench_x7_parallel_sweep; EXPERIMENTS.md X7).
+     profile (bench_x7_parallel_sweep; EXPERIMENTS.md X7), and its
+     derived restore speedup at 4 workers must meet
+     --min-restore-speedup (default 2.0x) on the same profile
+     (bench_x8_restore; EXPERIMENTS.md X8).
 
   2. Baseline comparison (with --baseline): derived metrics are
      throughput *ratios* measured on one machine, so they transfer across
@@ -61,6 +64,9 @@ def main():
     parser.add_argument("--min-parallel-speedup", type=float, default=2.0,
                         help="required 4-worker parallel sweep speedup "
                              "under the simulated-HDD profile")
+    parser.add_argument("--min-restore-speedup", type=float, default=2.0,
+                        help="required 4-worker media-recovery restore "
+                             "speedup under the simulated-HDD profile")
     parser.add_argument("--absolute", action="store_true",
                         help="also compare absolute bytes_per_second "
                              "(same-hardware baselines only)")
@@ -92,6 +98,18 @@ def main():
     else:
         print("bench_check: parallel sweep speedup %.3fx at 4 workers "
               "(>= %.2fx)" % (parallel, args.min_parallel_speedup))
+
+    restore = current.get("derived", {}).get("speedup_restore_t4")
+    if restore is None:
+        failures.append("current file has no speedup_restore_t4 "
+                        "(did bench_x8_restore run?)")
+    elif restore < args.min_restore_speedup:
+        failures.append(
+            "restore speedup %.3fx at 4 workers < required %.2fx" %
+            (restore, args.min_restore_speedup))
+    else:
+        print("bench_check: restore speedup %.3fx at 4 workers "
+              "(>= %.2fx)" % (restore, args.min_restore_speedup))
 
     if args.baseline:
         baseline = load(args.baseline)

@@ -458,13 +458,55 @@ int CmdPosixSmoke(const std::string& root) {
     LLB_ASSIGN_OR_RETURN(db, Database::Open(env.get(), "posixdb", options));
     RegisterAllOps(db->registry());
     LLB_RETURN_IF_ERROR(db->Recover());
-    FileStore reopened(db.get(), 1, 0, 1, options.pages_per_partition);
-    LLB_ASSIGN_OR_RETURN(std::vector<int64_t> values, reopened.ReadValues(3));
-    if (values.size() != 2 || values[0] != 1003) {
-      return Status::Corruption("reopened file 3 of partition 1 mismatch");
+    {
+      FileStore reopened(db.get(), 1, 0, 1, options.pages_per_partition);
+      LLB_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                           reopened.ReadValues(3));
+      if (values.size() != 2 || values[0] != 1003) {
+        return Status::Corruption("reopened file 3 of partition 1 mismatch");
+      }
     }
-    printf("posix smoke OK: root=%s pages_copied=%llu files=%zu\n",
+
+    // MEDIA FAILURE end-to-end on real files: wipe S, restore it from
+    // the backup through the shared transfer pipeline (batched +
+    // pipelined + 2 restore workers), recover over it and re-verify.
+    db.reset();
+    {
+      LLB_ASSIGN_OR_RETURN(
+          std::unique_ptr<PageStore> stable,
+          PageStore::Open(env.get(), Database::StableName("posixdb"),
+                          options.partitions));
+      for (PartitionId p = 0; p < options.partitions; ++p) {
+        LLB_RETURN_IF_ERROR(stable->WipePartition(p));
+      }
+    }
+    MediaRecoveryReport restored;
+    {
+      OpRegistry registry;
+      RegisterAllOps(&registry);
+      RestoreOptions restore;
+      restore.batch_pages = options.backup_batch_pages;
+      restore.pipelined = options.backup_pipelined;
+      restore.threads = 2;
+      LLB_ASSIGN_OR_RETURN(
+          restored,
+          RestoreFromBackupWithOptions(env.get(),
+                                       Database::StableName("posixdb"),
+                                       Database::LogName("posixdb"),
+                                       "posix_bk", registry, restore));
+    }
+    LLB_ASSIGN_OR_RETURN(db, Database::Open(env.get(), "posixdb", options));
+    RegisterAllOps(db->registry());
+    LLB_RETURN_IF_ERROR(db->Recover());
+    FileStore rebuilt(db.get(), 1, 0, 1, options.pages_per_partition);
+    LLB_ASSIGN_OR_RETURN(std::vector<int64_t> values, rebuilt.ReadValues(3));
+    if (values.size() != 2 || values[0] != 1003) {
+      return Status::Corruption("restored file 3 of partition 1 mismatch");
+    }
+    printf("posix smoke OK: root=%s pages_copied=%llu pages_restored=%llu "
+           "files=%zu\n",
            root.c_str(), static_cast<unsigned long long>(stats.pages_copied),
+           static_cast<unsigned long long>(restored.pages_restored),
            env->ListFiles().size());
     return Status::OK();
   };
@@ -503,6 +545,15 @@ int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
     // the determinism of the event count) lives on partition 0 only.
     scenario.partitions = 2;
     scenario.sweep_threads = 2;
+  }
+  if (kind == ScenarioKind::kParallelRestore) {
+    // Batched + pipelined restore sharded across two workers; crash
+    // points land mid-parallel-restore and salvage must re-restore.
+    scenario.partitions = 2;
+    scenario.sweep_threads = 2;
+    scenario.batch_pages = std::max<uint32_t>(
+        1, scenario.pages_per_partition / (scenario.backup_steps * 2));
+    scenario.pipelined = true;
   }
 
   SweepOptions sweep;
@@ -558,6 +609,7 @@ int CmdTorture(const std::string& scenario, uint64_t seed,
       {"restore", ScenarioKind::kRestore},
       {"batched", ScenarioKind::kBatchedBackup},
       {"parallel", ScenarioKind::kParallelBackup},
+      {"restore-parallel", ScenarioKind::kParallelRestore},
   };
   bool matched = false;
   int rc = 0;
@@ -588,6 +640,10 @@ int Usage() {
           "  llb_dbtool manifest <image> [backup=demo_bk]\n"
           "  llb_dbtool verify <image> [db=demo] [partitions=1] [pages=256]\n"
           "  llb_dbtool restore <image> [db=demo] [backup=demo_bk]\n"
+          "      [batch=32] [threads=1] [pipelined=0]\n"
+          "      off-line media recovery: wipe-tolerant restore of the\n"
+          "      chain with multi-page batched IO, optional prefetch\n"
+          "      pipelining, and partition-sharded restore workers\n"
           "  llb_dbtool verify-backup <image> [backup=demo_bk]\n"
           "      re-read every page of the backup chain, verify checksums\n"
           "      and the manifest chain; read-only, exit 2 on damage\n"
@@ -600,11 +656,13 @@ int Usage() {
           "      end-to-end smoke over the file-backed PosixEnv: open a\n"
           "      database under <root>, load it, take a parallel batched\n"
           "      backup (2 pool workers), verify the chain, reopen from\n"
-          "      the on-disk files\n"
+          "      the on-disk files, then wipe S and restore it from the\n"
+          "      backup (batched + pipelined, 2 restore workers)\n"
           "  llb_dbtool torture [scenario=all] [seed=1] [max-points=0]\n"
           "      [nested-points=0]\n"
           "      crash-point sweep of a pipeline scenario (backup, resume,\n"
-          "      scrub, restore, batched, parallel, concurrent, or all):\n"
+          "      scrub, restore, batched, parallel, restore-parallel,\n"
+          "      concurrent, or all):\n"
           "      run once to count durability events, then crash at each\n"
           "      one, recover,\n"
           "      and verify db + completed backups against the oracle;\n"
@@ -664,11 +722,15 @@ int Main(int argc, char** argv) {
   if (cmd == "restore") {
     std::string db = argc > 3 ? argv[3] : "demo";
     std::string backup = argc > 4 ? argv[4] : "demo_bk";
+    RestoreOptions options;
+    if (argc > 5) options.batch_pages = atoi(argv[5]);
+    if (argc > 6) options.threads = atoi(argv[6]);
+    if (argc > 7) options.pipelined = atoi(argv[7]) != 0;
     OpRegistry registry;
     RegisterAllOps(&registry);
-    auto report_or = RestoreFromBackup(&env, Database::StableName(db),
-                                       Database::LogName(db), backup,
-                                       registry);
+    auto report_or = RestoreFromBackupWithOptions(&env, Database::StableName(db),
+                                                  Database::LogName(db), backup,
+                                                  registry, options);
     if (!report_or.ok()) {
       fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
       return 1;
