@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "io/durable_cursor.h"
 
 namespace llb {
 
@@ -77,6 +78,8 @@ Result<BackupManifest> BackupManifest::Load(Env* env,
 }
 
 Status BackupCursor::Save(Env* env) const {
+  // Framing (tmp write, sync, rename, crc) is DurableCursor's job; this
+  // blob is just the cursor fields.
   std::string blob;
   PutFixed32(&blob, kCursorMagic);
   PutLengthPrefixed(&blob, Slice(backup_name));
@@ -84,30 +87,13 @@ Status BackupCursor::Save(Env* env) const {
   PutFixed32(&blob, pages_per_partition);
   PutFixed32(&blob, steps);
   for (uint32_t boundary : next_page) PutFixed32(&blob, boundary);
-  PutFixed32(&blob, crc32c::Value(blob.data(), blob.size()));
-
-  LLB_ASSIGN_OR_RETURN(
-      std::shared_ptr<File> file,
-      env->OpenFile(FileName(backup_name), /*create=*/true));
-  LLB_RETURN_IF_ERROR(file->Truncate(0));
-  LLB_RETURN_IF_ERROR(file->WriteAt(0, Slice(blob)));
-  return file->Sync();
+  return DurableCursor::Save(env, FileName(backup_name), Slice(blob));
 }
 
 Result<BackupCursor> BackupCursor::Load(Env* env, const std::string& name) {
-  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
-                       env->OpenFile(FileName(name), /*create=*/false));
-  LLB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
-  std::string blob;
-  LLB_RETURN_IF_ERROR(file->ReadAt(0, size, &blob));
-  if (blob.size() < 8) return Status::Corruption("cursor too small");
-
-  uint32_t stored_crc = DecodeFixed32(blob.data() + blob.size() - 4);
-  if (stored_crc != crc32c::Value(blob.data(), blob.size() - 4)) {
-    return Status::Corruption("cursor crc mismatch");
-  }
-
-  SliceReader reader(Slice(blob.data(), blob.size() - 4));
+  LLB_ASSIGN_OR_RETURN(std::string blob,
+                       DurableCursor::Load(env, FileName(name)));
+  SliceReader reader{Slice(blob)};
   BackupCursor c;
   uint32_t magic = 0;
   Slice name_slice;
@@ -130,9 +116,7 @@ Result<BackupCursor> BackupCursor::Load(Env* env, const std::string& name) {
 }
 
 Status BackupCursor::Remove(Env* env, const std::string& name) {
-  Status s = env->DeleteFile(FileName(name));
-  if (s.IsNotFound()) return Status::OK();
-  return s;
+  return DurableCursor::Remove(env, FileName(name));
 }
 
 }  // namespace llb

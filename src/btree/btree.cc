@@ -51,10 +51,11 @@ bool BTree::NeedsSplit(const PageImage& page) const {
 }
 
 Status BTree::LogNewPage(uint32_t old_page, uint32_t new_page,
-                         int64_t split_key) {
+                         int64_t split_key, uint8_t flags) {
   if (split_logging_ == SplitLogging::kLogical) {
     // The paper's logical split: log operand ids + split key only.
     LogRecord mov = MakeBtreeMovRec(Page(old_page), Page(new_page), split_key);
+    mov.flags = flags;
     return db_->Execute(&mov);
   }
   // Page-oriented: compute the new page's image here and log it in full
@@ -70,6 +71,7 @@ Status BTree::LogNewPage(uint32_t old_page, uint32_t new_page,
     node::LeafCopyHigh(old_image, &new_image, split_key);
   }
   LogRecord init = MakePhysicalWrite(Page(new_page), new_image);
+  init.flags = flags;
   return db_->Execute(&init);
 }
 
@@ -96,7 +98,10 @@ Status BTree::SplitChild(uint32_t parent, uint32_t child, int64_t* split_key,
   // Order (see DESIGN.md): every durable log prefix leaves a readable
   // tree. 1) move records into the (unreachable) new page; 2) allocate;
   // 3) link the separator into the parent; 4) truncate the old page.
-  LLB_RETURN_IF_ERROR(LogNewPage(child, new_page, *split_key));
+  // The four records form one atomic group (Begin on the first, End on
+  // the last) so PITR refuses to cut between them.
+  LLB_RETURN_IF_ERROR(
+      LogNewPage(child, new_page, *split_key, LogRecord::kGroupBegin));
   LogRecord alloc =
       MakeBtreeSetMeta(Page(meta_page_), node::MetaRoot(meta), new_page + 1,
                        node::MetaHeight(meta));
@@ -104,6 +109,7 @@ Status BTree::SplitChild(uint32_t parent, uint32_t child, int64_t* split_key,
   LogRecord link = MakeBtreeInsertIndex(Page(parent), *split_key, new_page);
   LLB_RETURN_IF_ERROR(db_->Execute(&link));
   LogRecord rmv = MakeBtreeRmvRec(Page(child), *split_key, new_page);
+  rmv.flags = LogRecord::kGroupEnd;
   LLB_RETURN_IF_ERROR(db_->Execute(&rmv));
   ++stats_.splits;
   return Status::OK();
@@ -127,8 +133,10 @@ Status BTree::SplitRoot() {
   int64_t split_key = inner ? node::InnerKeyAt(root_image, n / 2)
                             : node::LeafKeyAt(root_image, (n - 1) / 2);
 
-  // 1) populate the new sibling (unreachable yet);
-  LLB_RETURN_IF_ERROR(LogNewPage(old_root, new_page, split_key));
+  // 1) populate the new sibling (unreachable yet); Begin..End group as in
+  // SplitChild;
+  LLB_RETURN_IF_ERROR(
+      LogNewPage(old_root, new_page, split_key, LogRecord::kGroupBegin));
   // 2) initialize the new root (unreachable yet);
   PageImage new_root_image;
   node::InitInner(&new_root_image, old_root);
@@ -141,6 +149,7 @@ Status BTree::SplitRoot() {
   LLB_RETURN_IF_ERROR(db_->Execute(&swap));
   // 4) truncate the old root.
   LogRecord rmv = MakeBtreeRmvRec(Page(old_root), split_key, new_page);
+  rmv.flags = LogRecord::kGroupEnd;
   LLB_RETURN_IF_ERROR(db_->Execute(&rmv));
   ++stats_.splits;
   ++stats_.root_splits;

@@ -89,8 +89,11 @@ class BTree {
   Status SplitRoot();
   bool NeedsSplit(const PageImage& page) const;
   /// Emits the new-page contents: logically (MovRec) or page-oriented
-  /// (physical write of the computed image).
-  Status LogNewPage(uint32_t old_page, uint32_t new_page, int64_t split_key);
+  /// (physical write of the computed image). `flags` goes on the emitted
+  /// record — splits pass LogRecord::kGroupBegin since this is the first
+  /// record of the multi-record split group.
+  Status LogNewPage(uint32_t old_page, uint32_t new_page, int64_t split_key,
+                    uint8_t flags);
 
   Database* const db_;
   const PartitionId partition_;

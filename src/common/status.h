@@ -65,7 +65,11 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsUnrecoverable() const { return code_ == Code::kUnrecoverable; }

@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include "io/durable_cursor.h"
 #include "recovery/checkpoint.h"
 #include "recovery/general_write_graph.h"
 #include "recovery/tree_write_graph.h"
@@ -7,6 +8,9 @@
 namespace llb {
 
 namespace {
+
+constexpr char kRolePrimary[] = "primary";
+constexpr char kRoleStandby[] = "standby";
 
 std::unique_ptr<WriteGraph> MakeGraph(WriteGraphKind kind) {
   switch (kind) {
@@ -49,32 +53,97 @@ Status Database::Init() {
   cache_ = std::make_unique<CacheManager>(
       stable_.get(), log_.get(), &registry_, MakeGraph(options_.graph),
       &coordinator_, &tracker_, cache_options);
+
+  if (options_.standby) {
+    // The durable role file outranks the flag: a standby promoted in a
+    // previous incarnation stays a primary across crashes.
+    Result<std::string> role = DurableCursor::Load(env_, RoleName(name_));
+    if (role.ok()) {
+      standby_.store(*role != kRolePrimary, std::memory_order_release);
+    } else if (role.status().IsNotFound()) {
+      LLB_RETURN_IF_ERROR(
+          DurableCursor::Save(env_, RoleName(name_), Slice(kRoleStandby)));
+      standby_.store(true, std::memory_order_release);
+    } else {
+      return role.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::RequirePrimary(const char* op) const {
+  if (standby_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(std::string(op) +
+                                      " refused on a standby (promote first)");
+  }
   return Status::OK();
 }
 
 Status Database::Recover() {
-  LLB_ASSIGN_OR_RETURN(Lsn start, FindCrashRedoStart(*log_));
+  Lsn start = 1;
+  if (!standby_.load(std::memory_order_acquire)) {
+    LLB_ASSIGN_OR_RETURN(start, FindCrashRedoStart(*log_));
+  }
   LLB_ASSIGN_OR_RETURN(RedoReport report,
                        RunRedo(*log_, registry_, stable_.get(), start));
   (void)report;
   return Status::OK();
 }
 
-Status Database::Execute(LogRecord* rec) { return cache_->ExecuteOp(rec); }
+Status Database::Execute(LogRecord* rec) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("Execute"));
+  return cache_->ExecuteOp(rec);
+}
 
 Status Database::ReadPage(const PageId& id, PageImage* out) {
+  // Standby reads bypass the cache: the applier writes the stable store
+  // directly, so cached images could go stale (and a stale cache would
+  // poison the first operations after promotion).
+  if (standby_.load(std::memory_order_acquire)) {
+    return stable_->ReadPage(id, out);
+  }
   return cache_->ReadPage(id, out);
 }
 
-Status Database::FlushPage(const PageId& id) { return cache_->FlushPage(id); }
+Status Database::FlushPage(const PageId& id) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("FlushPage"));
+  return cache_->FlushPage(id);
+}
 
-Status Database::FlushAll() { return cache_->FlushAll(); }
+Status Database::FlushAll() {
+  LLB_RETURN_IF_ERROR(RequirePrimary("FlushAll"));
+  return cache_->FlushAll();
+}
 
-Status Database::Checkpoint() { return cache_->Checkpoint(); }
+Status Database::Checkpoint() {
+  LLB_RETURN_IF_ERROR(RequirePrimary("Checkpoint"));
+  return cache_->Checkpoint();
+}
+
+Status Database::Promote() {
+  if (!standby_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("Promote: not a standby");
+  }
+  // Order matters for crash safety (torture sweeps every point here):
+  //  1. Checkpoint while still a standby. The cache is empty (Execute was
+  //     refused), so the record anchors crash redo at the log tail —
+  //     valid because the caller drained replication, i.e. every logged
+  //     record is installed in the stable store. Crash after this, before
+  //     the role flip: still a standby, redo-from-1 as usual.
+  //  2. Durably flip the role file. Crash after: reopen finds "primary"
+  //     and anchors redo at the checkpoint from step 1 — exactly right.
+  //  3. Only then enable writes in this process.
+  LLB_RETURN_IF_ERROR(cache_->Checkpoint());
+  LLB_RETURN_IF_ERROR(
+      DurableCursor::Save(env_, RoleName(name_), Slice(kRolePrimary)));
+  standby_.store(false, std::memory_order_release);
+  return Status::OK();
+}
 
 Status Database::ForceLog() { return log_->Force(); }
 
 Status Database::TruncateLog(Lsn oldest_backup_start_lsn) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("TruncateLog"));
   Lsn keep_from = cache_->RedoStartLsn();
   if (oldest_backup_start_lsn != kInvalidLsn &&
       oldest_backup_start_lsn < keep_from) {
@@ -99,6 +168,7 @@ Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
 Result<BackupManifest> Database::TakeBackupWithOptions(
     const std::string& backup_name, const BackupJobOptions& job_options,
     BackupJobStats* stats_out) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("TakeBackup"));
   // The media recovery log scan start point is the crash recovery log
   // scan start point at the time backup begins (paper 1.2). The log up to
   // here must be durable so a media recovery never misses operations.
@@ -127,6 +197,7 @@ Result<BackupManifest> Database::TakeBackupWithOptions(
 Result<BackupManifest> Database::ResumeBackup(
     const std::string& backup_name, const BackupJobOptions& job_options,
     BackupJobStats* stats_out) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("ResumeBackup"));
   BackupJobOptions effective = job_options;
   if (effective.pool == nullptr) effective.pool = &sweep_pool_;
   BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
@@ -146,6 +217,7 @@ Result<ScrubReport> Database::VerifyBackup(const std::string& backup_name) {
 }
 
 Result<ScrubReport> Database::ScrubBackup(const std::string& backup_name) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("ScrubBackup"));
   ScrubOptions scrub_options;
   scrub_options.repair = true;
   scrub_options.stable = stable_.get();
@@ -166,9 +238,17 @@ Result<MediaRecoveryReport> Database::RestoreFromBackup(
                                       backup_name, registry, options);
 }
 
+Result<MediaRecoveryReport> Database::RestoreToLsn(
+    Env* env, const std::string& name, Lsn target, const OpRegistry& registry,
+    const RestoreOptions& options) {
+  return RestoreToPointInTime(env, StableName(name), LogName(name), target,
+                              registry, options);
+}
+
 Result<BackupManifest> Database::TakeIncrementalBackup(
     const std::string& backup_name, const std::string& base_name,
     uint32_t steps) {
+  LLB_RETURN_IF_ERROR(RequirePrimary("TakeIncrementalBackup"));
   BackupJobOptions job_options;
   job_options.steps = steps != 0 ? steps : options_.backup_steps;
   job_options.parallel_partitions = options_.parallel_backup;

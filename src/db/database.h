@@ -56,6 +56,12 @@ struct DbOptions {
   /// across all backup runs — no per-backup thread churn. 1 = serial
   /// sweep.
   uint32_t backup_sweep_threads = 1;
+  /// Open as a warm standby: mutating entry points (Execute, flushes,
+  /// checkpoints, backups) are refused, reads bypass the cache, and the
+  /// log is fed by a StandbyApplier replaying shipped segments. The role
+  /// is remembered durably in "<name>.role": a standby that was promoted
+  /// reopens writable even when this flag is still set.
+  bool standby = false;
 };
 
 /// The storage engine facade: stable database + recovery log + cache
@@ -81,6 +87,13 @@ class Database {
 
   /// Crash recovery: redo from the last checkpoint's scan start. Must be
   /// called after all domain operations are registered.
+  ///
+  /// In standby mode redo runs from LSN 1 instead: checkpoint records
+  /// shipped from the primary anchor redo in the PRIMARY's cache state
+  /// ("records before X are installed over there"), which says nothing
+  /// about what this standby has flushed. Replaying the whole retained
+  /// log is always sound (the per-page LSN test skips what is already
+  /// installed).
   Status Recover();
 
   /// Executes one logged operation (see CacheManager::ExecuteOp).
@@ -156,6 +169,29 @@ class Database {
       Env* env, const std::string& name, const std::string& backup_name,
       const OpRegistry& registry, const RestoreOptions& options = {});
 
+  /// Point-in-time restore: rebuilds the database as of exactly `target`
+  /// by picking the newest retained backup chain whose end LSN does not
+  /// exceed the target, then rolling the log forward only through
+  /// `target` (discarding the suffix). Refuses targets past the durable
+  /// log tail, targets older than every retained backup, and targets
+  /// that cut a multi-record atomic group (e.g. a B-tree split) in half
+  /// — except the exact durable tail, which equals a plain restore. Same
+  /// offline contract as RestoreFromBackup.
+  static Result<MediaRecoveryReport> RestoreToLsn(
+      Env* env, const std::string& name, Lsn target,
+      const OpRegistry& registry, const RestoreOptions& options = {});
+
+  /// True while operating as a warm standby (not yet promoted).
+  bool standby() const { return standby_.load(std::memory_order_acquire); }
+
+  /// Promotes a standby to a writable primary: writes a checkpoint
+  /// anchoring crash redo at the promotion point, durably flips the role
+  /// file, and re-enables the mutating entry points. The caller must
+  /// have fully drained replication first (StandbyApplier::Drain until
+  /// the lag is zero) — the checkpoint asserts that everything in the
+  /// local log is installed in the stable store.
+  Status Promote();
+
   OpRegistry* registry() { return &registry_; }
   /// The persistent worker pool every Database-driven backup runs on
   /// (partition sweepers + pipelined prefetch). Starts empty; jobs grow
@@ -174,6 +210,9 @@ class Database {
     return name + ".stable";
   }
   static std::string LogName(const std::string& name) { return name + ".log"; }
+  static std::string RoleName(const std::string& name) {
+    return name + ".role";
+  }
 
   DbStats GatherStats() const;
   void ResetStats();
@@ -182,6 +221,7 @@ class Database {
   Database(Env* env, std::string name, const DbOptions& options);
 
   Status Init();
+  Status RequirePrimary(const char* op) const;
 
   Env* const env_;
   const std::string name_;
@@ -196,6 +236,10 @@ class Database {
   /// Declared after the stores it sweeps: destroyed first, and idle by
   /// then (every job joins its futures before returning).
   SweepThreadPool sweep_pool_;
+
+  /// Standby role flag: written by Init/Promote, read by every mutating
+  /// entry point (possibly from other threads).
+  std::atomic<bool> standby_{false};
 
   /// Atomics: updated by whichever thread runs a backup, read by
   /// GatherStats from concurrent foreground/monitoring threads.

@@ -1,0 +1,54 @@
+#include "io/durable_cursor.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace llb {
+
+namespace {
+constexpr uint32_t kCellMagic = 0x4C4C4443u;  // "LLDC"
+}  // namespace
+
+Status DurableCursor::Save(Env* env, const std::string& name, Slice payload) {
+  std::string blob;
+  PutFixed32(&blob, kCellMagic);
+  PutLengthPrefixed(&blob, payload);
+  PutFixed32(&blob, crc32c::Value(blob.data(), blob.size()));
+
+  const std::string tmp = name + ".tmp";
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(tmp, /*create=*/true));
+  LLB_RETURN_IF_ERROR(file->Truncate(0));
+  LLB_RETURN_IF_ERROR(file->WriteAt(0, Slice(blob)));
+  LLB_RETURN_IF_ERROR(file->Sync());
+  return env->RenameFile(tmp, name);
+}
+
+Result<std::string> DurableCursor::Load(Env* env, const std::string& name) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
+                       env->OpenFile(name, /*create=*/false));
+  LLB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string blob;
+  LLB_RETURN_IF_ERROR(file->ReadAt(0, size, &blob));
+  if (blob.size() < 8) return Status::Corruption("cursor cell too small");
+  uint32_t stored_crc = DecodeFixed32(blob.data() + blob.size() - 4);
+  if (stored_crc != crc32c::Value(blob.data(), blob.size() - 4)) {
+    return Status::Corruption("cursor cell crc mismatch: " + name);
+  }
+  SliceReader reader(Slice(blob.data(), blob.size() - 4));
+  uint32_t magic = 0;
+  Slice payload;
+  if (!reader.ReadFixed32(&magic) || magic != kCellMagic ||
+      !reader.ReadLengthPrefixed(&payload) || reader.remaining() != 0) {
+    return Status::Corruption("malformed cursor cell: " + name);
+  }
+  return payload.ToString();
+}
+
+Status DurableCursor::Remove(Env* env, const std::string& name) {
+  Status s = env->DeleteFile(name);
+  if (s.IsNotFound()) return Status::OK();
+  return s;
+}
+
+}  // namespace llb

@@ -1,0 +1,42 @@
+#ifndef LLB_IO_DURABLE_CURSOR_H_
+#define LLB_IO_DURABLE_CURSOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "io/env.h"
+
+namespace llb {
+
+/// A small durable key/value cell: one file holding one checksummed
+/// payload, replaced atomically via the write-tmp / sync / rename
+/// pattern. Both the backup sweep's progress cursor (BackupCursor) and
+/// the log shipper's ship cursor persist through this helper instead of
+/// hand-rolling the protocol twice.
+///
+/// Invariants:
+///  * Save costs exactly one durability event (the tmp-file sync); the
+///    rename is a namespace move, not a sync.
+///  * After a crash at any point of Save, Load returns either the
+///    previous payload or the new one — never a torn mix. A crash
+///    between sync and rename leaves an orphan "<name>.tmp", which the
+///    next Save simply overwrites.
+///  * Corruption (bit rot, short file) is detected by a crc32c trailer
+///    and surfaces as Status::Corruption.
+class DurableCursor {
+ public:
+  /// Atomically replaces the cell `name` with `payload`.
+  static Status Save(Env* env, const std::string& name, Slice payload);
+
+  /// Loads the cell's payload. NotFound if it was never saved.
+  static Result<std::string> Load(Env* env, const std::string& name);
+
+  /// Deletes the cell. Missing file is OK.
+  static Status Remove(Env* env, const std::string& name);
+};
+
+}  // namespace llb
+
+#endif  // LLB_IO_DURABLE_CURSOR_H_

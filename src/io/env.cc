@@ -33,4 +33,18 @@ Status File::WriteAtv(uint64_t offset, const std::vector<Slice>& chunks) {
 FaultInjector::~FaultInjector() = default;
 Env::~Env() = default;
 
+Status Env::RenameFile(const std::string& src, const std::string& dst) {
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> from,
+                       OpenFile(src, /*create=*/false));
+  LLB_ASSIGN_OR_RETURN(uint64_t size, from->Size());
+  std::string contents;
+  LLB_RETURN_IF_ERROR(from->ReadAt(0, size, &contents));
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> to,
+                       OpenFile(dst, /*create=*/true));
+  LLB_RETURN_IF_ERROR(to->Truncate(0));
+  LLB_RETURN_IF_ERROR(to->WriteAt(0, Slice(contents)));
+  LLB_RETURN_IF_ERROR(to->Sync());
+  return DeleteFile(src);
+}
+
 }  // namespace llb

@@ -117,6 +117,15 @@ class Env {
   virtual bool FileExists(const std::string& name) const = 0;
   virtual std::vector<std::string> ListFiles() const = 0;
 
+  /// Atomically replaces `dst` with `src` (which must exist). After a
+  /// crash, `dst` holds either its old contents or the durable contents
+  /// of `src` — never a mix; this is the publish step of the
+  /// write-tmp/sync/rename pattern (DurableCursor). The base
+  /// implementation copies durably and deletes the source, which is
+  /// atomic on the single-writer engine files it is used for;
+  /// environments with a native atomic rename override it.
+  virtual Status RenameFile(const std::string& src, const std::string& dst);
+
  protected:
   Env() = default;
 };

@@ -125,6 +125,13 @@ class FaultyEnv : public Env {
   bool FileExists(const std::string& name) const override;
   std::vector<std::string> ListFiles() const override;
 
+  /// Renames pass through un-faulted: the write-tmp/sync/rename pattern
+  /// already exposes its fault surface through the tmp file's WriteAt and
+  /// Sync, which the policy does intercept.
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return base_->RenameFile(src, dst);
+  }
+
   /// Installs the fault policy consulted on every file operation. Not
   /// owned; pass nullptr to return to pass-through behavior.
   void SetPolicy(FaultPolicy* policy);

@@ -61,6 +61,9 @@ class LatencyEnv : public Env {
   Status DeleteFile(const std::string& name) override;
   bool FileExists(const std::string& name) const override;
   std::vector<std::string> ListFiles() const override;
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return base_->RenameFile(src, dst);
+  }
 
   const LatencyProfile& profile() const { return profile_; }
   LatencyEnvStats stats() const;

@@ -169,6 +169,16 @@ Status MemEnv::DeleteFile(const std::string& name) {
   return Status::OK();
 }
 
+Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IoAllowed()) return Status::IoError("simulated device failure");
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound("no such file: " + src);
+  files_[dst] = it->second;
+  files_.erase(src);
+  return Status::OK();
+}
+
 bool MemEnv::FileExists(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) > 0;

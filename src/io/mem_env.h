@@ -34,6 +34,14 @@ class MemEnv : public Env {
   bool FileExists(const std::string& name) const override;
   std::vector<std::string> ListFiles() const override;
 
+  /// Atomic namespace move. Like DeleteFile, the namespace change itself
+  /// is immediate and survives CrashAndRestart (the map is the durable
+  /// directory); the file's durable/volatile content split moves with it.
+  /// Not a durability event — it consumes no sync — but a blocked env
+  /// (triggered fault) refuses it, so a crash scheduled at the tmp-file
+  /// sync also kills the rename that would have published it.
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+
   /// Installs a fault injector consulted on every Sync. Not owned.
   /// Pass nullptr to clear.
   void SetFaultInjector(FaultInjector* injector);

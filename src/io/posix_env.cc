@@ -391,6 +391,23 @@ Status PosixEnv::DeleteFile(const std::string& name) {
   return Status::OK();
 }
 
+Status PosixEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::rename(PathOf(src).c_str(), PathOf(dst).c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + src);
+    return PosixError("rename " + PathOf(src), errno);
+  }
+  // Open handles follow the inode: the src handle (if any) now serves dst.
+  auto it = files_.find(src);
+  if (it != files_.end()) {
+    files_[dst] = std::move(it->second);
+    files_.erase(it);
+  } else {
+    files_.erase(dst);
+  }
+  return Status::OK();
+}
+
 bool PosixEnv::FileExists(const std::string& name) const {
   return ::access(PathOf(name).c_str(), F_OK) == 0;
 }

@@ -57,6 +57,9 @@ class PosixEnv : public Env {
   bool FileExists(const std::string& name) const override;
   std::vector<std::string> ListFiles() const override;
 
+  /// Native ::rename — atomic within the root directory.
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+
   const std::string& root() const { return root_; }
   const Options& options() const { return options_; }
 

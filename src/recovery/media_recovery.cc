@@ -155,4 +155,75 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
   return report;
 }
 
+Result<MediaRecoveryReport> RestoreToPointInTime(
+    Env* env, const std::string& stable_prefix, const std::string& log_name,
+    Lsn target, const OpRegistry& registry, const RestoreOptions& options) {
+  if (target == kInvalidLsn) {
+    return Status::InvalidArgument("point-in-time target must be a valid LSN");
+  }
+
+  // 1. Validate the cut against the durable log: bounds and group
+  //    atomicity. One scan gathers the tail and the open-group depth at
+  //    the target.
+  Lsn tail = kInvalidLsn;
+  int open_groups_at_target = 0;
+  {
+    LLB_ASSIGN_OR_RETURN(std::unique_ptr<LogManager> log,
+                         LogManager::Open(env, log_name));
+    LLB_RETURN_IF_ERROR(log->Scan(1, [&](const LogRecord& rec) {
+      tail = rec.lsn;
+      if (rec.lsn <= target) {
+        if (rec.IsGroupBegin()) ++open_groups_at_target;
+        if (rec.IsGroupEnd()) --open_groups_at_target;
+      }
+      return Status::OK();
+    }));
+  }
+  if (tail == kInvalidLsn || target > tail) {
+    return Status::InvalidArgument(
+        "point-in-time target " + std::to_string(target) +
+        " is past the durable log tail " + std::to_string(tail));
+  }
+  // The exact tail always restores cleanly: it is what a plain (non-PITR)
+  // restore produces, even when the log itself ends mid-group after a
+  // primary crash.
+  if (target != tail && open_groups_at_target > 0) {
+    return Status::InvalidArgument(
+        "point-in-time target " + std::to_string(target) +
+        " cuts a multi-record atomic group in half; pick an LSN outside "
+        "the group");
+  }
+
+  // 2. Newest complete backup that finished at or before the target.
+  const std::string kManifestSuffix = ".manifest";
+  std::string best_name;
+  Lsn best_end = kInvalidLsn;
+  for (const std::string& file : env->ListFiles()) {
+    if (file.size() <= kManifestSuffix.size() ||
+        file.compare(file.size() - kManifestSuffix.size(),
+                     kManifestSuffix.size(), kManifestSuffix) != 0) {
+      continue;
+    }
+    std::string backup = file.substr(0, file.size() - kManifestSuffix.size());
+    Result<BackupManifest> manifest = BackupManifest::Load(env, backup);
+    if (!manifest.ok() || !manifest->complete) continue;
+    if (manifest->end_lsn > target) continue;
+    if (best_name.empty() || manifest->end_lsn > best_end) {
+      best_name = backup;
+      best_end = manifest->end_lsn;
+    }
+  }
+  if (best_name.empty()) {
+    return Status::FailedPrecondition(
+        "point-in-time target " + std::to_string(target) +
+        " predates every retained backup; no chain can reach it");
+  }
+
+  RestoreOptions effective = options;
+  effective.stop_at_lsn = target;
+  effective.partition_only = false;
+  return RestoreFromBackupWithOptions(env, stable_prefix, log_name, best_name,
+                                      registry, effective);
+}
+
 }  // namespace llb

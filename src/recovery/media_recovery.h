@@ -70,6 +70,29 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
     const std::string& backup_name, const OpRegistry& registry,
     const RestoreOptions& options);
 
+/// Point-in-time restore to exactly `target`:
+///
+///   1. Validates the cut. The target must lie in [1, durable log tail]
+///      (LSNs are dense) and must not fall inside a multi-record atomic
+///      group (LogRecord::kGroupBegin/kGroupEnd — e.g. a logical B-tree
+///      split): stopping mid-group would materialize a half-applied
+///      structure modification. The exact durable tail is always
+///      accepted — it equals a plain full restore, including a tail that
+///      itself ends mid-group after a primary crash.
+///   2. Picks the restore chain: among all complete manifests in `env`,
+///      the backup with the greatest end_lsn <= target (roll-forward
+///      never rolls back, so a backup that finished after the target
+///      cannot reach it). No such backup -> FailedPrecondition: the
+///      target predates the oldest retained backup.
+///   3. Delegates to RestoreFromBackupWithOptions with stop_at_lsn =
+///      target, which also truncates the excluded log suffix.
+///
+/// `options.stop_at_lsn` and `options.partition_only` are ignored (PITR
+/// is whole-database); the bulk-transfer knobs are honored.
+Result<MediaRecoveryReport> RestoreToPointInTime(
+    Env* env, const std::string& stable_prefix, const std::string& log_name,
+    Lsn target, const OpRegistry& registry, const RestoreOptions& options = {});
+
 }  // namespace llb
 
 #endif  // LLB_RECOVERY_MEDIA_RECOVERY_H_

@@ -2,73 +2,11 @@
 
 #include <limits>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "recovery/log_applier.h"
 #include "storage/page.h"
 
 namespace llb {
-
-namespace {
-
-/// Page images under recovery: read-through from the target store,
-/// written back at the end.
-class RecoveryImage {
- public:
-  explicit RecoveryImage(PageStore* target) : target_(target) {}
-
-  Status Get(const PageId& id, PageImage** out) {
-    auto it = pages_.find(id);
-    if (it == pages_.end()) {
-      PageImage image;
-      LLB_RETURN_IF_ERROR(target_->ReadPage(id, &image));
-      it = pages_.emplace(id, std::move(image)).first;
-    }
-    *out = &it->second;
-    return Status::OK();
-  }
-
-  void MarkDirty(const PageId& id) { dirty_.insert(id); }
-
-  Status WriteBack(PageStore* target, uint64_t* pages_written) {
-    for (const PageId& id : dirty_) {
-      LLB_RETURN_IF_ERROR(target->WritePage(id, pages_.at(id)));
-      ++*pages_written;
-    }
-    return Status::OK();
-  }
-
- private:
-  PageStore* const target_;
-  std::unordered_map<PageId, PageImage, PageIdHash> pages_;
-  std::unordered_set<PageId, PageIdHash> dirty_;
-};
-
-class RedoOpContext : public OpContext {
- public:
-  explicit RedoOpContext(RecoveryImage* image) : image_(image) {}
-
-  Status Read(const PageId& id, PageImage* out) override {
-    PageImage* current = nullptr;
-    LLB_RETURN_IF_ERROR(image_->Get(id, &current));
-    *out = *current;
-    return Status::OK();
-  }
-
-  Status Write(const PageId& id, const PageImage& image) override {
-    staged_[id] = image;
-    return Status::OK();
-  }
-
-  std::unordered_map<PageId, PageImage, PageIdHash>& staged() {
-    return staged_;
-  }
-
- private:
-  RecoveryImage* const image_;
-  std::unordered_map<PageId, PageImage, PageIdHash> staged_;
-};
-
-}  // namespace
 
 Result<RedoReport> RunRedo(const LogManager& log, const OpRegistry& registry,
                            PageStore* target, Lsn start_lsn) {
@@ -112,18 +50,16 @@ Result<RedoReport> RunRedoRange(const LogManager& log,
     }));
   }
 
-  RecoveryImage image(target);
+  // The per-record apply core is shared with the standby applier
+  // (recovery/log_applier.h); this function contributes the seeding pass
+  // and the scan-driven scoping around it.
+  LogApplier applier(registry, target);
 
   // Apply seeds newer than the stored page.
   for (const auto& [id, seed] : seeds) {
-    PageImage* current = nullptr;
-    LLB_RETURN_IF_ERROR(image.Get(id, &current));
-    if (current->lsn() < seed.lsn) {
-      *current = PageImage::FromRaw(seed.value);
-      current->set_lsn(seed.lsn);
-      image.MarkDirty(id);
-      ++report.pages_seeded;
-    }
+    bool seeded = false;
+    LLB_RETURN_IF_ERROR(applier.SeedPage(id, seed.value, seed.lsn, &seeded));
+    if (seeded) ++report.pages_seeded;
   }
 
   // Pass 2: replay with the per-target LSN test.
@@ -134,41 +70,13 @@ Result<RedoReport> RunRedoRange(const LogManager& log,
     // Identity records: consumed in pass 1 when seeding; applied in-order
     // like physical blind writes when re-executing from scratch.
     if (rec.IsIdentityWrite() && use_identity_seeds) return Status::OK();
-    if (rec.writeset.empty()) return Status::OK();
-
-    bool any_stale = false;
-    for (const PageId& t : rec.writeset) {
-      PageImage* current = nullptr;
-      LLB_RETURN_IF_ERROR(image.Get(t, &current));
-      if (current->lsn() < rec.lsn) {
-        any_stale = true;
-        break;
-      }
-    }
-    if (!any_stale) return Status::OK();
-
-    RedoOpContext ctx(&image);
-    LLB_RETURN_IF_ERROR(registry.Apply(ctx, rec));
-
-    for (const PageId& t : rec.writeset) {
-      PageImage* current = nullptr;
-      LLB_RETURN_IF_ERROR(image.Get(t, &current));
-      if (current->lsn() >= rec.lsn) continue;  // already newer: skip
-      auto sit = ctx.staged().find(t);
-      if (sit == ctx.staged().end()) {
-        return Status::Internal("replay did not produce declared target " +
-                                t.ToString());
-      }
-      *current = sit->second;
-      current->set_lsn(rec.lsn);
-      image.MarkDirty(t);
-    }
-    ++report.ops_replayed;
-    return Status::OK();
+    return applier.Apply(rec);
   });
   LLB_RETURN_IF_ERROR(scan_status);
 
-  LLB_RETURN_IF_ERROR(image.WriteBack(target, &report.pages_written));
+  LLB_RETURN_IF_ERROR(applier.Flush());
+  report.ops_replayed = applier.stats().records_applied;
+  report.pages_written = applier.stats().pages_written;
   return report;
 }
 

@@ -1,0 +1,116 @@
+#ifndef LLB_SHIP_SHIP_CHANNEL_H_
+#define LLB_SHIP_SHIP_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "io/env.h"
+#include "io/faulty_env.h"
+
+namespace llb {
+
+/// One replication unit in flight: a sealed log segment stamped with the
+/// shipper's dense frame sequence number. `bytes` is the segment's framed
+/// records verbatim (each record self-checksummed), and the frame adds an
+/// envelope checksum of its own so a torn or rotten frame is detected at
+/// the envelope before record decoding even starts.
+struct ShipFrame {
+  uint64_t seq = 0;  // dense, 1-based, assigned by the shipper
+  Lsn first_lsn = kInvalidLsn;
+  Lsn last_lsn = kInvalidLsn;
+  std::string bytes;
+
+  /// Appends the wire encoding (magic + header + payload + crc) to *dst.
+  void EncodeTo(std::string* dst) const;
+
+  /// Decodes one frame from the whole of `input`. Trailing garbage, a
+  /// short buffer, or a checksum mismatch all return Corruption.
+  static Status DecodeFrom(Slice input, ShipFrame* out);
+};
+
+/// Transport between a primary's log shipper and a standby's applier.
+///
+/// Delivery contract (deliberately weak, so fault injection is honest):
+///   - Send() durably publishes a frame; once it returns OK the frame
+///     survives sender crashes. Re-sending a seq overwrites (idempotent).
+///   - Poll() returns available frames with seq >= from_seq in ARBITRARY
+///     order, possibly with duplicates; frames that are torn or rotten in
+///     transit are silently absent (the sender still has them and retries
+///     or re-syncs). The applier owns reordering and dedup.
+///   - Trim() discards frames <= upto_seq once the applier has durably
+///     consumed them.
+class ShipChannel {
+ public:
+  virtual ~ShipChannel();
+
+  ShipChannel(const ShipChannel&) = delete;
+  ShipChannel& operator=(const ShipChannel&) = delete;
+
+  virtual Status Send(const ShipFrame& frame) = 0;
+  virtual Status Poll(uint64_t from_seq, std::vector<ShipFrame>* out) = 0;
+  virtual Status Trim(uint64_t upto_seq) = 0;
+
+ protected:
+  ShipChannel() = default;
+};
+
+/// A spool-directory channel over an Env: frame `seq` lives in file
+/// "<prefix>.f<seq>", published with write + sync. Wrapping the Env in a
+/// FaultyEnv makes every transport hazard injectable: failed sends
+/// (WriteAt/Sync faults), torn frames (corrupt-on-write -> envelope crc
+/// rejects on Poll), lost frames (delete the file). Poll decodes whatever
+/// files exist and skips undecodable ones — a torn frame is a transient
+/// absence, not an error.
+class FileShipChannel : public ShipChannel {
+ public:
+  FileShipChannel(Env* env, std::string prefix)
+      : env_(env), prefix_(std::move(prefix)) {}
+
+  Status Send(const ShipFrame& frame) override;
+  Status Poll(uint64_t from_seq, std::vector<ShipFrame>* out) override;
+  Status Trim(uint64_t upto_seq) override;
+
+  std::string FrameName(uint64_t seq) const;
+
+ private:
+  Env* const env_;
+  const std::string prefix_;
+};
+
+/// An in-memory channel for single-process primary/standby pairs (bench,
+/// unit tests). An optional FaultPolicy makes it lossy: Send consults the
+/// policy as a kWriteAt on the channel's pseudo-file (kFail -> the send
+/// fails and nothing is stored; kCorrupt -> the stored frame gets one bit
+/// flipped, so the applier's validation rejects it), Poll consults it as
+/// a kReadAt (kFail -> the poll fails transiently).
+class InProcessShipChannel : public ShipChannel {
+ public:
+  explicit InProcessShipChannel(std::string name = "ship.chan")
+      : name_(std::move(name)) {}
+
+  Status Send(const ShipFrame& frame) override;
+  Status Poll(uint64_t from_seq, std::vector<ShipFrame>* out) override;
+  Status Trim(uint64_t upto_seq) override;
+
+  /// Installs the loss/corruption policy (not owned; nullptr = reliable).
+  void SetPolicy(FaultPolicy* policy);
+
+  /// Frames currently queued (not yet trimmed).
+  size_t pending() const;
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  FaultPolicy* policy_ = nullptr;
+  std::map<uint64_t, ShipFrame> frames_;
+};
+
+}  // namespace llb
+
+#endif  // LLB_SHIP_SHIP_CHANNEL_H_

@@ -8,14 +8,18 @@
 #include "common/random.h"
 #include "filestore/filestore.h"
 #include "io/fault_env.h"
+#include "ship/log_shipper.h"
+#include "ship/standby_applier.h"
 #include "torture/torture_util.h"
 
 namespace llb {
 
 using torture::ClearRestoreMarker;
 using torture::kRestoreMarker;
+using torture::OfflinePitr;
 using torture::OfflineRestore;
 using torture::SetRestoreMarker;
+using torture::VerifyDbAgainstOwnLog;
 using torture::VerifyOpenDb;
 using torture::VerifyStableOffline;
 using torture::WipeStable;
@@ -25,6 +29,9 @@ namespace {
 /// Backup names every scenario uses, so salvage knows what to look for.
 constexpr char kFullName[] = "tbk_full";
 constexpr char kIncrName[] = "tbk_incr";
+
+/// Spool prefix for kLogShipping frame files ("ship.f<seq>").
+constexpr char kShipPrefix[] = "ship";
 
 /// The update activity a scenario interleaves with its backup pipeline.
 /// Deterministic for a given seed and call sequence.
@@ -118,6 +125,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "parallel";
     case ScenarioKind::kParallelRestore:
       return "restore-parallel";
+    case ScenarioKind::kLogShipping:
+      return "log-shipping";
   }
   return "unknown";
 }
@@ -228,6 +237,63 @@ Status VerifyCompletedChains(TortureEngine* e, const RestoreOptions& restore,
   LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
   LLB_RETURN_IF_ERROR(e->Open());
   ++report->backups_verified;
+  return Status::OK();
+}
+
+/// Standby-side salvage for kLogShipping: reopen the twin by its durable
+/// role, oracle-verify its stable store against its own log, and — while
+/// it is still a standby — re-attach replication from the durable ship
+/// cursor and require convergence with the salvaged primary.
+///
+/// Convergence is guaranteed because the shipper's no-gaps invariant
+/// survives crashes: every LSN at or below the cursor is either still in
+/// the spool (frames are synced before the cursor advances) or was
+/// trimmed, and Trim only follows durable consumption into the standby
+/// log; everything past the cursor is covered by Attach's catch-up scan.
+/// The one exception is a frame that rotted after the cursor passed it
+/// (the scenario's scripted torn frame, crashed before its resync), which
+/// the explicit Resync below repairs.
+Status SalvageStandbySide(const ScenarioOptions& scenario, TortureEngine* e,
+                          CrashSweepReport* report) {
+  if (scenario.kind != ScenarioKind::kLogShipping) return Status::OK();
+  // sb.log is created by the scenario's OpenStandby; its absence means
+  // the crash hit earlier (MemEnv keeps file existence across crashes).
+  if (!e->env.FileExists(Database::LogName(e->standby_name))) {
+    return Status::OK();
+  }
+  LLB_RETURN_IF_ERROR(e->OpenStandby());
+  LLB_RETURN_IF_ERROR(VerifyDbAgainstOwnLog(e, e->standby.get()));
+  ++report->recoveries_verified;
+  // Promoted before the crash: the twin is its own primary now and no
+  // replication should resume.
+  if (!e->standby->standby()) return Status::OK();
+
+  Lsn primary_tail = e->db->log()->durable_lsn();
+  if (e->standby->log()->durable_lsn() > primary_tail) {
+    // The primary was rewound (PITR) behind the standby. Replication
+    // must not run backwards; a real deployment rebuilds the follower.
+    return Status::OK();
+  }
+
+  FileShipChannel channel(&e->env, kShipPrefix);
+  LogShipper shipper(&e->env, e->name, e->db->log(), &channel);
+  LLB_RETURN_IF_ERROR(shipper.Attach());
+  StandbyApplier applier(e->standby.get(), &channel);
+  LLB_RETURN_IF_ERROR(applier.CatchUpFromLocalLog());
+  LLB_RETURN_IF_ERROR(shipper.Pump());
+  LLB_RETURN_IF_ERROR(applier.Drain());
+  if (applier.applied_lsn() < primary_tail) {
+    LLB_RETURN_IF_ERROR(shipper.Resync(applier.applied_lsn() + 1));
+    LLB_RETURN_IF_ERROR(shipper.Pump());
+    LLB_RETURN_IF_ERROR(applier.Drain());
+  }
+  StandbyStatus lag = applier.GatherStatus(primary_tail);
+  if (lag.lsns_behind != 0 || applier.applied_lsn() != primary_tail) {
+    return Status::Internal("standby failed to converge after salvage: " +
+                            lag.ToString());
+  }
+  LLB_RETURN_IF_ERROR(VerifyDbAgainstOwnLog(e, e->standby.get()));
+  ++report->recoveries_verified;
   return Status::OK();
 }
 
@@ -489,6 +555,130 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
       return e->Open();
     }
+
+    case ScenarioKind::kLogShipping: {
+      // Warm standby in the same env, so one crash schedule covers
+      // primary, spool, and standby durability events. The spool is a
+      // FileShipChannel under the same FaultyEnv: scripted channel faults
+      // and scheduled crashes both land on real frame IO.
+      LLB_RETURN_IF_ERROR(e->OpenStandby());
+      FileShipChannel channel(&e->env, kShipPrefix);
+      LogShipper shipper(&e->env, e->name, db->log(), &channel);
+      LLB_RETURN_IF_ERROR(shipper.Attach());
+      StandbyApplier applier(e->standby.get(), &channel);
+      LLB_RETURN_IF_ERROR(applier.CatchUpFromLocalLog());
+      auto replicate = [&]() -> Status {
+        LLB_RETURN_IF_ERROR(shipper.Pump());
+        return applier.Drain();
+      };
+      // Everything logged before the shipper attached ships as one
+      // catch-up frame.
+      LLB_RETURN_IF_ERROR(replicate());
+
+      // Transient send fault: the next Pump's first spool write fails
+      // once and the shipper's bounded retry absorbs it. The failed
+      // write never reaches its Sync, so the durability-event sequence
+      // stays identical to a fault-free send.
+      {
+        ScriptedFaultPolicy drop(
+            {{FaultOp::kWriteAt, std::string(kShipPrefix) + ".f", 1,
+              FaultAction::kFail}});
+        LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid));
+        e->env.SetPolicy(&drop);
+        Status pumped = shipper.Pump();
+        e->env.SetPolicy(nullptr);
+        if (!pumped.ok()) return pumped;  // scheduled crash mid-pump
+        if (drop.fired() != 1) {
+          return Status::Internal("scripted send fault did not fire");
+        }
+        if (shipper.stats().retries == 0) {
+          return Status::Internal("send retry path not exercised");
+        }
+        LLB_RETURN_IF_ERROR(applier.Drain());
+      }
+
+      // Torn frame: silent rot on a spool write. The envelope crc hides
+      // the frame from Poll, the applier observes the gap, and the
+      // shipper's Resync NAK path rebuilds the range from the log.
+      {
+        ScriptedFaultPolicy rot(
+            {{FaultOp::kWriteAt, std::string(kShipPrefix) + ".f", 1,
+              FaultAction::kCorrupt}});
+        LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid));
+        e->env.SetPolicy(&rot);
+        Status pumped = shipper.Pump();
+        e->env.SetPolicy(nullptr);
+        if (!pumped.ok()) return pumped;  // scheduled crash mid-pump
+        if (rot.fired() != 1) {
+          return Status::Internal("scripted frame rot did not fire");
+        }
+        LLB_RETURN_IF_ERROR(applier.Drain());
+        if (applier.applied_lsn() >= db->log()->durable_lsn()) {
+          return Status::Internal("torn frame failed to open a gap");
+        }
+        LLB_RETURN_IF_ERROR(shipper.Resync(applier.applied_lsn() + 1));
+        LLB_RETURN_IF_ERROR(replicate());
+        if (applier.applied_lsn() != db->log()->durable_lsn()) {
+          return Status::Internal("resync did not close the gap");
+        }
+      }
+
+      // Full backup on the primary while replication keeps flowing
+      // through the mid-step hook.
+      BackupJobOptions job;
+      job.steps = scenario_.backup_steps;
+      job.mid_step = [&](PartitionId, uint32_t) -> Status {
+        LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid));
+        return replicate();
+      };
+      LLB_ASSIGN_OR_RETURN(BackupManifest full,
+                           db->TakeBackupWithOptions(kFullName, job));
+      if (!full.complete) return Status::Internal("full backup incomplete");
+
+      // The PITR target: a quiescent boundary past the backup's end (all
+      // atomic groups closed by the workload's trailing FlushAll).
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_RETURN_IF_ERROR(db->ForceLog());
+      const Lsn pitr_target = db->log()->durable_lsn();
+      LLB_RETURN_IF_ERROR(replicate());
+
+      // Updates past the PITR point, then a full drain to zero lag.
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_RETURN_IF_ERROR(db->ForceLog());
+      LLB_RETURN_IF_ERROR(replicate());
+      StandbyStatus lag = applier.GatherStatus(db->log()->durable_lsn());
+      if (lag.lsns_behind != 0 || lag.segments_behind != 0) {
+        return Status::Internal("standby lag after full drain: " +
+                                lag.ToString());
+      }
+      if (e->standby->log()->durable_lsn() != db->log()->durable_lsn()) {
+        return Status::Internal("standby log tail diverges from primary");
+      }
+
+      // Promote: the standby becomes a writable primary, takes writes of
+      // its own, and must keep matching its own log.
+      shipper.Detach();
+      LLB_RETURN_IF_ERROR(e->standby->Promote());
+      if (e->standby->standby()) {
+        return Status::Internal("promotion left the standby flag set");
+      }
+      std::unique_ptr<ScenarioWorkload> standby_writes =
+          MakeWorkload(e->standby.get(), scenario_);
+      LLB_RETURN_IF_ERROR(standby_writes->Update(scenario_.updates_mid));
+      LLB_RETURN_IF_ERROR(e->standby->ForceLog());
+      LLB_RETURN_IF_ERROR(VerifyDbAgainstOwnLog(e, e->standby.get()));
+
+      // Point-in-time restore of the old primary to the recorded target
+      // (media failure after the role moved: rewind to a known-good
+      // moment instead of chasing the lost tail).
+      e->Shutdown();
+      LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
+      LLB_RETURN_IF_ERROR(WipeStable(e));
+      LLB_RETURN_IF_ERROR(OfflinePitr(e, pitr_target));
+      LLB_RETURN_IF_ERROR(VerifyStableOffline(e, pitr_target));
+      LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+      return e->Open();
+    }
   }
   return Status::Internal("unknown scenario kind");
 }
@@ -518,14 +708,15 @@ Status CrashSweeper::Salvage(TortureEngine* e,
     LLB_RETURN_IF_ERROR(e->Open());
     LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
     ++report->recoveries_verified;
-    return Status::OK();
+    return SalvageStandbySide(scenario_, e, report);
   }
 
   LLB_RETURN_IF_ERROR(e->Open());
   LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
   ++report->recoveries_verified;
-  return VerifyCompletedChains(e, RestoreOptionsForScenario(scenario_),
-                               report);
+  LLB_RETURN_IF_ERROR(VerifyCompletedChains(
+      e, RestoreOptionsForScenario(scenario_), report));
+  return SalvageStandbySide(scenario_, e, report);
 }
 
 Status CrashSweeper::CrashScenarioAt(TortureEngine* e, uint64_t k) const {

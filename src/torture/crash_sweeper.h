@@ -56,6 +56,23 @@ enum class ScenarioKind {
   /// writes a fixed run set — worker interleaving permutes event order
   /// only, and the sweeper's contract is count-based.
   kParallelRestore,
+  /// Log shipping to a warm standby living in the same env: the primary
+  /// workload streams sealed segments through a FileShipChannel spool to
+  /// a standby-mode twin database, with a scripted transient send fault
+  /// (absorbed by the shipper's bounded retry) and a scripted torn frame
+  /// (the envelope crc hides it from Poll; the applier observes the gap
+  /// and the shipper's Resync NAK path repairs it). Then: a full backup
+  /// with replication flowing through the mid-step hook, a PITR target
+  /// recorded at a quiescent boundary, further updates, a full drain to
+  /// zero measured lag, promotion of the standby to a writable primary
+  /// (its own writes verified against its own log), and a point-in-time
+  /// restore of the old primary to the recorded target. Crashes land on
+  /// every durability event of ship -> apply -> promote -> PITR replay;
+  /// salvage reopens both sides by durable role, re-attaches replication
+  /// from the durable ship cursor, and requires oracle-verified
+  /// convergence (except when the primary was PITR-rewound behind the
+  /// standby, where a real deployment rebuilds the follower).
+  kLogShipping,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);

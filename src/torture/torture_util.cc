@@ -12,6 +12,15 @@ Status TortureEngine::Open() {
   return db->Recover();
 }
 
+Status TortureEngine::OpenStandby() {
+  DbOptions standby_options = options;
+  standby_options.standby = true;
+  LLB_ASSIGN_OR_RETURN(standby,
+                       Database::Open(&env, standby_name, standby_options));
+  RegisterAllOps(standby->registry());
+  return standby->Recover();
+}
+
 namespace torture {
 
 Status SetRestoreMarker(Env* env) {
@@ -27,13 +36,17 @@ Status ClearRestoreMarker(Env* env) {
 }
 
 Status VerifyOpenDb(TortureEngine* e) {
+  return VerifyDbAgainstOwnLog(e, e->db.get());
+}
+
+Status VerifyDbAgainstOwnLog(TortureEngine* e, Database* db) {
   std::string prefix = "oracle_t" + std::to_string(e->oracle_seq++);
   std::unique_ptr<PageStore> oracle;
-  LLB_RETURN_IF_ERROR(testutil::BuildOracle(&e->env, *e->db->log(),
-                                            *e->db->registry(), prefix,
+  LLB_RETURN_IF_ERROR(testutil::BuildOracle(&e->env, *db->log(),
+                                            *db->registry(), prefix,
                                             e->options.partitions, &oracle));
   std::string diff =
-      testutil::DiffStores(*e->db->stable(), *oracle, e->options.partitions,
+      testutil::DiffStores(*db->stable(), *oracle, e->options.partitions,
                            e->options.pages_per_partition);
   if (!diff.empty()) {
     return Status::Internal("stable state differs from oracle at page " +
@@ -91,6 +104,20 @@ Status OfflineRestore(TortureEngine* e, const std::string& chain,
       RestoreFromBackupWithOptions(&e->env, Database::StableName(e->name),
                                    Database::LogName(e->name), chain, registry,
                                    options));
+  (void)report;
+  return Status::OK();
+}
+
+Status OfflinePitr(TortureEngine* e, Lsn target, RestoreOptions base) {
+  OpRegistry registry;
+  RegisterAllOps(&registry);
+  base.stop_at_lsn = kInvalidLsn;
+  base.partition_only = false;
+  LLB_ASSIGN_OR_RETURN(
+      MediaRecoveryReport report,
+      RestoreToPointInTime(&e->env, Database::StableName(e->name),
+                           Database::LogName(e->name), target, registry,
+                           base));
   (void)report;
   return Status::OK();
 }

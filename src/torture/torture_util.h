@@ -23,6 +23,10 @@ struct TortureEngine {
   DbOptions options;
   std::string name = "db";
   std::unique_ptr<Database> db;
+  /// Warm-standby twin living in the same env (log-shipping scenarios),
+  /// so one crash schedule covers primary, transport, and standby events.
+  std::string standby_name = "sb";
+  std::unique_ptr<Database> standby;
   /// Monotonic suffix for oracle page-store prefixes: a PageStore opened
   /// over an existing prefix sees the old pages, so every oracle built
   /// within one env lifetime needs a fresh prefix.
@@ -33,9 +37,17 @@ struct TortureEngine {
   /// Opens (and crash-recovers) the database. Registers all domain ops.
   Status Open();
 
-  /// Closes the database handle without a crash (volatile state of the
+  /// Opens (and crash-recovers) the standby twin in standby mode. The
+  /// durable role file decides the actual role: a standby promoted before
+  /// a crash reopens writable.
+  Status OpenStandby();
+
+  /// Closes the database handles without a crash (volatile state of the
   /// env is preserved; used before off-line media recovery).
-  void Shutdown() { db.reset(); }
+  void Shutdown() {
+    db.reset();
+    standby.reset();
+  }
 };
 
 namespace torture {
@@ -54,6 +66,12 @@ Status ClearRestoreMarker(Env* env);
 /// re-execution from an empty store must equal S page for page.
 Status VerifyOpenDb(TortureEngine* engine);
 
+/// Same oracle check against any open database in the engine's env —
+/// e.g. the standby twin, whose own log (fed by replication) must equal
+/// its stable store after every drain and after every crash recovery.
+/// All flushed state must be durable (the caller just drained/flushed).
+Status VerifyDbAgainstOwnLog(TortureEngine* engine, Database* db);
+
 /// Oracle check with the database closed; `end_lsn` caps the replay for
 /// point-in-time restores (kInvalidLsn = whole log).
 Status VerifyStableOffline(TortureEngine* engine, Lsn end_lsn);
@@ -68,6 +86,11 @@ Status WipeStable(TortureEngine* engine);
 /// its stop_at_lsn / partition fields are overridden here.
 Status OfflineRestore(TortureEngine* engine, const std::string& chain,
                       Lsn stop_at_lsn, RestoreOptions base = {});
+
+/// Off-line point-in-time restore of the engine's primary to exactly
+/// `target` (RestoreToPointInTime picks the chain itself). Restartable
+/// like OfflineRestore.
+Status OfflinePitr(TortureEngine* engine, Lsn target, RestoreOptions base = {});
 
 }  // namespace torture
 }  // namespace llb

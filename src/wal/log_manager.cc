@@ -25,6 +25,7 @@ Lsn LogManager::Append(LogRecord* record) {
   std::lock_guard<std::mutex> lock(mu_);
   record->lsn = next_lsn_++;
   writer_.Add(*record);
+  if (seal_first_lsn_ == kInvalidLsn) seal_first_lsn_ = record->lsn;
   last_appended_ = record->lsn;
   size_t encoded = record->EncodedSize();
   ++stats_.records;
@@ -38,9 +39,75 @@ Lsn LogManager::Append(LogRecord* record) {
 
 Status LogManager::Force() {
   std::lock_guard<std::mutex> lock(mu_);
-  LLB_RETURN_IF_ERROR(writer_.Force());
+  LLB_RETURN_IF_ERROR(SealLocked());
   ++stats_.forces;
+  return Status::OK();
+}
+
+Status LogManager::SealLocked() {
+  std::string sealed;
+  LLB_RETURN_IF_ERROR(writer_.Force(&sealed));
   if (last_appended_ != kInvalidLsn) durable_lsn_ = last_appended_;
+  if (!sealed.empty()) {
+    SealedSegment segment;
+    segment.seq = ++seal_seq_;
+    segment.first_lsn = seal_first_lsn_;
+    segment.last_lsn = last_appended_;
+    segment.bytes = std::move(sealed);
+    seal_first_lsn_ = kInvalidLsn;
+    if (seal_observer_) seal_observer_(segment);
+  }
+  return Status::OK();
+}
+
+void LogManager::SetSealObserver(SealObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seal_observer_ = std::move(observer);
+}
+
+Status LogManager::AppendSealed(const SealedSegment& segment,
+                                std::vector<LogRecord>* records_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segment.first_lsn != next_lsn_) {
+    return Status::InvalidArgument(
+        "sealed segment not contiguous: first_lsn " +
+        std::to_string(segment.first_lsn) + " != next_lsn " +
+        std::to_string(next_lsn_));
+  }
+  // Validate before buffering: framing + CRC, and LSNs dense over
+  // [first_lsn, last_lsn]. A torn or rotten segment is rejected whole.
+  std::vector<LogRecord> records;
+  Slice cursor(segment.bytes);
+  Lsn expect = segment.first_lsn;
+  while (!cursor.empty()) {
+    LogRecord rec;
+    Status s = LogRecord::DecodeFrom(&cursor, &rec);
+    if (!s.ok()) return Status::Corruption("sealed segment: " + s.ToString());
+    if (rec.lsn != expect) {
+      return Status::Corruption("sealed segment LSNs not dense");
+    }
+    ++expect;
+    records.push_back(std::move(rec));
+  }
+  if (records.empty() || records.back().lsn != segment.last_lsn) {
+    return Status::Corruption("sealed segment does not end at last_lsn");
+  }
+  writer_.AddRaw(Slice(segment.bytes));
+  if (seal_first_lsn_ == kInvalidLsn) seal_first_lsn_ = segment.first_lsn;
+  for (const LogRecord& rec : records) {
+    size_t encoded = rec.EncodedSize();
+    ++stats_.records;
+    stats_.bytes += encoded;
+    if (rec.IsIdentityWrite()) {
+      ++stats_.identity_records;
+      stats_.identity_bytes += encoded;
+    }
+  }
+  next_lsn_ = segment.last_lsn + 1;
+  last_appended_ = segment.last_lsn;
+  if (records_out != nullptr) {
+    for (LogRecord& rec : records) records_out->push_back(std::move(rec));
+  }
   return Status::OK();
 }
 
@@ -81,9 +148,10 @@ void LogManager::ResetStats() {
 
 Status LogManager::TruncatePrefix(Lsn keep_from) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Flush buffered records first so the rewrite sees everything.
-  LLB_RETURN_IF_ERROR(writer_.Force());
-  if (last_appended_ != kInvalidLsn) durable_lsn_ = last_appended_;
+  // Flush buffered records first so the rewrite sees everything. Routed
+  // through SealLocked so records sealed by this internal force still
+  // reach the seal observer (a shipper must not lose them).
+  LLB_RETURN_IF_ERROR(SealLocked());
 
   LLB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
   std::string contents;

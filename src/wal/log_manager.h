@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -26,6 +27,18 @@ struct LogStats {
   uint64_t forces = 0;
 };
 
+/// One sealed log segment: the contiguous run of framed records a single
+/// successful Force() made durable. The log is one file, so a "segment"
+/// is a byte range, not a separate file; seq numbers seals densely within
+/// one LogManager session (they restart at 1 after reopen — cross-session
+/// continuity is the ship cursor's job, keyed by LSN).
+struct SealedSegment {
+  uint64_t seq = 0;
+  Lsn first_lsn = kInvalidLsn;
+  Lsn last_lsn = kInvalidLsn;
+  std::string bytes;  // framed records, appendable to another log verbatim
+};
+
 /// Owns the recovery log: assigns LSNs, appends records, forces them
 /// durable (WAL), and scans them for redo. The same log serves crash
 /// recovery and media recovery ("maintaining the media recovery log is
@@ -33,6 +46,12 @@ struct LogStats {
 /// start point recorded when its backup began.
 class LogManager {
  public:
+  /// Observes segment seals. Invoked after the seal is durable (the
+  /// force's sync succeeded), under the log mutex: observers must be
+  /// quick and must not call back into the LogManager (enqueue and
+  /// return — the shipper's pattern).
+  using SealObserver = std::function<void(const SealedSegment&)>;
+
   /// Opens (creating if needed) the log, scanning any existing durable
   /// records to find the next LSN to assign.
   static Result<std::unique_ptr<LogManager>> Open(Env* env,
@@ -44,8 +63,24 @@ class LogManager {
   /// Assigns the next LSN to *record, buffers it, and returns the LSN.
   Lsn Append(LogRecord* record);
 
-  /// Makes all appended records durable.
+  /// Makes all appended records durable. If that sealed a non-empty
+  /// segment, the seal observer (if any) fires before Force returns.
   Status Force();
+
+  /// Installs the seal observer (nullptr clears). Seals that happened
+  /// before installation are not replayed — a late-attaching shipper
+  /// catches up by Scan()ning from its durable cursor instead.
+  void SetSealObserver(SealObserver observer);
+
+  /// Appends an already-sealed segment replicated from a primary log,
+  /// preserving its LSNs (standby side). The segment must be contiguous
+  /// with this log: first_lsn == next_lsn(); its bytes are validated
+  /// (framing, CRC, dense LSNs matching [first_lsn, last_lsn]). On
+  /// success the decoded records are appended to *records_out (if non
+  /// -null) and the segment is buffered — call Force() to make it
+  /// durable before applying it to the standby's stable store (WAL rule).
+  Status AppendSealed(const SealedSegment& segment,
+                      std::vector<LogRecord>* records_out);
 
   /// LSN that will be assigned to the next record.
   Lsn next_lsn() const;
@@ -81,6 +116,11 @@ class LogManager {
         next_lsn_(next_lsn),
         durable_lsn_(next_lsn - 1) {}
 
+  /// Forces the writer and, if records were sealed, fires the observer.
+  /// mu_ held by caller. Does not touch stats_.forces (TruncatePrefix's
+  /// internal force is not a logical WAL force).
+  Status SealLocked();
+
   Env* const env_;
   const std::string name_;
   std::shared_ptr<File> file_;
@@ -91,6 +131,9 @@ class LogManager {
   Lsn durable_lsn_;
   Lsn last_appended_ = kInvalidLsn;
   LogStats stats_;
+  SealObserver seal_observer_;
+  uint64_t seal_seq_ = 0;
+  Lsn seal_first_lsn_ = kInvalidLsn;  // first LSN buffered since last seal
 };
 
 }  // namespace llb

@@ -10,6 +10,7 @@ namespace {
 void EncodeBody(const LogRecord& rec, std::string* body) {
   PutFixed64(body, rec.lsn);
   PutFixed16(body, rec.op_code);
+  body->push_back(static_cast<char>(rec.flags));
   PutVarint32(body, static_cast<uint32_t>(rec.readset.size()));
   for (const PageId& id : rec.readset) PutPageId(body, id);
   PutVarint32(body, static_cast<uint32_t>(rec.writeset.size()));
@@ -47,10 +48,12 @@ Status LogRecord::DecodeFrom(Slice* input, LogRecord* out) {
   uint32_t nread = 0, nwrite = 0;
   out->readset.clear();
   out->writeset.clear();
+  Slice flags_byte;
   if (!reader.ReadFixed64(&out->lsn) || !reader.ReadFixed16(&out->op_code) ||
-      !reader.ReadVarint32(&nread)) {
+      !reader.ReadBytes(1, &flags_byte) || !reader.ReadVarint32(&nread)) {
     return Status::Corruption("malformed log record");
   }
+  out->flags = static_cast<uint8_t>(flags_byte[0]);
   for (uint32_t i = 0; i < nread; ++i) {
     PageId id;
     if (!reader.ReadPageId(&id)) return Status::Corruption("bad readset");

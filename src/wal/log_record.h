@@ -55,12 +55,25 @@ enum OpCode : uint16_t {
 /// readset(Op) and writes writeset(Op); logical operations log operand
 /// *identifiers* plus a small descriptor instead of data values.
 struct LogRecord {
+  /// Group flags: a multi-record atomic group (e.g. a logical B-tree
+  /// split: MovRec / SetMeta / InsertIndex / RmvRec) marks its first
+  /// record kGroupBegin and its last kGroupEnd. Point-in-time restore
+  /// refuses cut points with an open group — stopping between Begin and
+  /// End would leave a half-applied structure modification (the split's
+  /// records are only atomic as a unit). Single-record operations carry
+  /// no flags.
+  static constexpr uint8_t kGroupBegin = 0x1;
+  static constexpr uint8_t kGroupEnd = 0x2;
+
   Lsn lsn = kInvalidLsn;
   uint16_t op_code = kOpInvalid;
+  uint8_t flags = 0;
   std::vector<PageId> readset;
   std::vector<PageId> writeset;
   std::string payload;
 
+  bool IsGroupBegin() const { return (flags & kGroupBegin) != 0; }
+  bool IsGroupEnd() const { return (flags & kGroupEnd) != 0; }
   bool IsIdentityWrite() const { return op_code == kOpIdentityWrite; }
   bool IsBlindWrite() const {
     return op_code == kOpPhysicalWrite || op_code == kOpIdentityWrite;

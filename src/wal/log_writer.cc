@@ -9,10 +9,21 @@ Status LogWriter::Add(const LogRecord& record) {
   return Status::OK();
 }
 
-Status LogWriter::Force() {
+Status LogWriter::AddRaw(Slice framed) {
+  buffer_.append(framed.data(), framed.size());
+  bytes_logged_ += framed.size();
+  return Status::OK();
+}
+
+Status LogWriter::Force(std::string* sealed) {
   if (!buffer_.empty()) {
     LLB_RETURN_IF_ERROR(file_->Append(Slice(buffer_)));
+    if (sealed != nullptr) {
+      *sealed = std::move(buffer_);
+    }
     buffer_.clear();
+  } else if (sealed != nullptr) {
+    sealed->clear();
   }
   return file_->Sync();
 }

@@ -24,8 +24,15 @@ class LogWriter {
   /// Buffers a record for the next Force().
   Status Add(const LogRecord& record);
 
-  /// Appends all buffered records and syncs the file.
-  Status Force();
+  /// Buffers already-framed record bytes (a sealed segment replicated
+  /// from another log) for the next Force().
+  Status AddRaw(Slice framed);
+
+  /// Appends all buffered records and syncs the file. When `sealed` is
+  /// non-null it receives the byte range this force made durable (empty
+  /// if nothing was buffered) — the "sealed segment" the log shipper
+  /// streams to a standby.
+  Status Force(std::string* sealed = nullptr);
 
   /// Bytes appended + buffered since construction (logging-volume metric).
   uint64_t bytes_logged() const { return bytes_logged_; }

@@ -151,6 +151,42 @@ TEST(CrashSweepTest, ParallelRestoreScenarioAllPoints) {
   EXPECT_GT(report.salvage_restores, 0u);
 }
 
+TEST(CrashSweepTest, LogShippingScenarioAllPoints) {
+  CrashSweepReport report =
+      SweepAllPoints(ScenarioKind::kLogShipping, WriteGraphKind::kTree);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  // Crash points after the standby exists salvage BOTH sides (primary +
+  // standby oracle checks), so recoveries exceed the point count.
+  EXPECT_GT(report.recoveries_verified, report.points_tested);
+  EXPECT_GT(report.backups_verified, 0u);
+  // Crash points inside the PITR window take the marker path.
+  EXPECT_GT(report.salvage_restores, 0u);
+}
+
+TEST(CrashSweepTest, LogShippingScenarioGeneralGraph) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kLogShipping, WriteGraphKind::kGeneral);
+  SweepOptions options;
+  options.max_points = 24;  // tree graph gets the all-points sweep above
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_LE(report.points_tested, 24u);
+  EXPECT_GT(report.recoveries_verified, report.points_tested);
+}
+
+TEST(NestedCrashTest, CrashDuringLogShippingSalvage) {
+  SweepOptions options;
+  options.max_points = 4;
+  options.nested_primary_points = 3;
+  options.nested_max_points = 8;
+  CrashSweeper sweeper(
+      SmallScenario(ScenarioKind::kLogShipping, WriteGraphKind::kTree));
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.nested_points_tested, 0u);
+}
+
 TEST(CrashSweepTest, SweepIsDeterministic) {
   SweepOptions options;
   options.max_points = 10;

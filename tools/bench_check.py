@@ -12,7 +12,12 @@ Two layers of checks:
      profile (bench_x7_parallel_sweep; EXPERIMENTS.md X7), and its
      derived restore speedup at 4 workers must meet
      --min-restore-speedup (default 2.0x) on the same profile
-     (bench_x8_restore; EXPERIMENTS.md X8).
+     (bench_x8_restore; EXPERIMENTS.md X8), and its derived log-shipping
+     keep-up ratio (standby apply MB/s over primary ingest MB/s) must
+     meet --min-ship-keepup (default 0.3x) — a loose floor that catches
+     apply-path collapses (bench_x9_log_shipping); the ratio is too
+     noisy on small shared runners for the 15% baseline band, so it is
+     invariant-gated only.
 
   2. Baseline comparison (with --baseline): derived metrics are
      throughput *ratios* measured on one machine, so they transfer across
@@ -67,6 +72,14 @@ def main():
     parser.add_argument("--min-restore-speedup", type=float, default=2.0,
                         help="required 4-worker media-recovery restore "
                              "speedup under the simulated-HDD profile")
+    parser.add_argument("--min-ship-keepup", type=float, default=0.3,
+                        help="required standby-apply / primary-ingest "
+                             "throughput ratio (apply pays a per-frame "
+                             "force + flush, so it runs below ingest; "
+                             "this floor catches apply-path collapses "
+                             "and is deliberately loose — the ratio is "
+                             "noisy on small shared runners, so it is "
+                             "excluded from the baseline band)")
     parser.add_argument("--absolute", action="store_true",
                         help="also compare absolute bytes_per_second "
                              "(same-hardware baselines only)")
@@ -110,6 +123,19 @@ def main():
     else:
         print("bench_check: restore speedup %.3fx at 4 workers "
               "(>= %.2fx)" % (restore, args.min_restore_speedup))
+
+    keepup = current.get("derived", {}).get("ship_keepup_ratio")
+    if keepup is None:
+        failures.append("current file has no ship_keepup_ratio "
+                        "(did bench_x9_log_shipping run?)")
+    elif keepup < args.min_ship_keepup:
+        failures.append(
+            "log-shipping keep-up ratio %.3fx < required %.2fx "
+            "(standby apply path regressed)" %
+            (keepup, args.min_ship_keepup))
+    else:
+        print("bench_check: log-shipping keep-up ratio %.3fx (>= %.2fx)" %
+              (keepup, args.min_ship_keepup))
 
     if args.baseline:
         baseline = load(args.baseline)

@@ -15,6 +15,9 @@
 //                                           manifest chain of a backup
 //   llb_dbtool scrub <image> <bk> <db>      verify + repair bad backup pages
 //                                           from S / the log, rewrite image
+//   llb_dbtool ship <image> <db>            replicate the log into a warm
+//                                           standby in the image
+//   llb_dbtool standby status <image> <db>  replication-lag report
 //   llb_dbtool torture [scenario] [seed]    crash-point sweep of a pipeline
 //                                           scenario (no image; in-memory)
 //
@@ -37,6 +40,8 @@
 #include "io/mem_env.h"
 #include "io/posix_env.h"
 #include "recovery/media_recovery.h"
+#include "ship/log_shipper.h"
+#include "ship/standby_applier.h"
 #include "sim/harness.h"
 #include "sim/oracle.h"
 #include "torture/concurrent_torture.h"
@@ -398,6 +403,124 @@ int CmdDemo(const std::string& path) {
   return 0;
 }
 
+// ---------- log shipping ----------
+
+DbOptions ImageDbOptions(uint32_t partitions, uint32_t pages) {
+  DbOptions options;
+  options.partitions = partitions;
+  options.pages_per_partition = pages;
+  options.cache_pages = 64;
+  options.graph = WriteGraphKind::kTree;
+  options.backup_policy = BackupPolicy::kTree;
+  return options;
+}
+
+// Replicates the primary's whole retained log into a warm standby living
+// in the same image: attach a shipper over a spool-file channel, pump
+// every sealed segment, and drain it into a standby database. The
+// standby (its stable store, its log, the durable ship cursor, and any
+// untrimmed spool files) is saved back into the image, ready for
+// `standby status` or further shipping rounds.
+int CmdShip(MemEnv* env, const std::string& image_path,
+            const std::string& db_name, const std::string& standby_name,
+            uint32_t partitions, uint32_t pages) {
+  if (!env->FileExists(Database::LogName(db_name))) {
+    fprintf(stderr, "no db named '%s' in the image (missing %s)\n",
+            db_name.c_str(), Database::LogName(db_name).c_str());
+    return 1;
+  }
+  DbOptions options = ImageDbOptions(partitions, pages);
+  auto run = [&]() -> Status {
+    LLB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                         Database::Open(env, db_name, options));
+    RegisterAllOps(db->registry());
+    LLB_RETURN_IF_ERROR(db->Recover());
+
+    FileShipChannel channel(env, db_name + ".ship");
+    LogShipper shipper(env, db_name, db->log(), &channel);
+    LLB_RETURN_IF_ERROR(shipper.Attach());
+    LLB_RETURN_IF_ERROR(shipper.Pump());
+
+    DbOptions standby_options = options;
+    standby_options.standby = true;
+    LLB_ASSIGN_OR_RETURN(std::unique_ptr<Database> standby,
+                         Database::Open(env, standby_name, standby_options));
+    RegisterAllOps(standby->registry());
+    LLB_RETURN_IF_ERROR(standby->Recover());
+    StandbyApplier applier(standby.get(), &channel);
+    LLB_RETURN_IF_ERROR(applier.CatchUpFromLocalLog());
+    LLB_RETURN_IF_ERROR(applier.Drain());
+
+    ShipStats stats = shipper.stats();
+    printf("shipped %llu frame(s), %llu byte(s); cursor at lsn %llu\n",
+           static_cast<unsigned long long>(stats.frames_sent),
+           static_cast<unsigned long long>(stats.bytes_sent),
+           static_cast<unsigned long long>(stats.last_shipped_lsn));
+    StandbyStatus status = applier.GatherStatus(db->log()->durable_lsn());
+    printf("%s\n", status.ToString().c_str());
+    if (status.lsns_behind != 0) {
+      return Status::Internal("standby did not converge: " +
+                              status.ToString());
+    }
+    shipper.Detach();
+    return Status::OK();
+  };
+  Status s = run();
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = SaveImage(env, image_path);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("rewrote image to %s\n", image_path.c_str());
+  return 0;
+}
+
+// Read-only replication-lag report from the standby's point of view: how
+// far its applied LSN trails the primary's durable tail.
+int CmdStandbyStatus(MemEnv* env, const std::string& db_name,
+                     const std::string& standby_name, uint32_t partitions,
+                     uint32_t pages) {
+  if (!env->FileExists(Database::LogName(standby_name))) {
+    fprintf(stderr,
+            "no standby named '%s' in the image (missing %s); "
+            "run 'ship' first\n",
+            standby_name.c_str(), Database::LogName(standby_name).c_str());
+    return 1;
+  }
+  Lsn primary_durable = kInvalidLsn;
+  if (env->FileExists(Database::LogName(db_name))) {
+    auto log_or = LogManager::Open(env, Database::LogName(db_name));
+    if (!log_or.ok()) {
+      fprintf(stderr, "%s\n", log_or.status().ToString().c_str());
+      return 1;
+    }
+    primary_durable = (*log_or)->durable_lsn();
+  }
+  DbOptions standby_options = ImageDbOptions(partitions, pages);
+  standby_options.standby = true;
+  auto run = [&]() -> Status {
+    LLB_ASSIGN_OR_RETURN(std::unique_ptr<Database> standby,
+                         Database::Open(env, standby_name, standby_options));
+    RegisterAllOps(standby->registry());
+    LLB_RETURN_IF_ERROR(standby->Recover());
+    FileShipChannel channel(env, db_name + ".ship");
+    StandbyApplier applier(standby.get(), &channel);
+    LLB_RETURN_IF_ERROR(applier.CatchUpFromLocalLog());
+    printf("%s\n", applier.GatherStatus(primary_durable).ToString().c_str());
+    return Status::OK();
+  };
+  Status s = run();
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // End-to-end smoke over the real file-backed environment: open a
 // database under `root`, load it, take a parallel batched backup, verify
 // the chain, then close and recover from the on-disk files. This is the
@@ -530,7 +653,8 @@ int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
   // Backup and restore sweep the general-operation path; resume and scrub
   // sweep the tree path, matching the coverage split in torture_test.cc.
   scenario.graph =
-      (kind == ScenarioKind::kResume || kind == ScenarioKind::kScrub)
+      (kind == ScenarioKind::kResume || kind == ScenarioKind::kScrub ||
+       kind == ScenarioKind::kLogShipping)
           ? WriteGraphKind::kTree
           : WriteGraphKind::kGeneral;
   if (kind == ScenarioKind::kBatchedBackup) {
@@ -610,6 +734,7 @@ int CmdTorture(const std::string& scenario, uint64_t seed,
       {"batched", ScenarioKind::kBatchedBackup},
       {"parallel", ScenarioKind::kParallelBackup},
       {"restore-parallel", ScenarioKind::kParallelRestore},
+      {"log-shipping", ScenarioKind::kLogShipping},
   };
   bool matched = false;
   int rc = 0;
@@ -640,10 +765,23 @@ int Usage() {
           "  llb_dbtool manifest <image> [backup=demo_bk]\n"
           "  llb_dbtool verify <image> [db=demo] [partitions=1] [pages=256]\n"
           "  llb_dbtool restore <image> [db=demo] [backup=demo_bk]\n"
-          "      [batch=32] [threads=1] [pipelined=0]\n"
+          "      [batch=32] [threads=1] [pipelined=0] [--to-lsn N]\n"
           "      off-line media recovery: wipe-tolerant restore of the\n"
           "      chain with multi-page batched IO, optional prefetch\n"
-          "      pipelining, and partition-sharded restore workers\n"
+          "      pipelining, and partition-sharded restore workers;\n"
+          "      --to-lsn N restores to a point in time instead (picks\n"
+          "      the newest chain ending at or before N, rolls forward\n"
+          "      to exactly N, discards the log suffix; N must not cut\n"
+          "      a multi-record atomic group)\n"
+          "  llb_dbtool ship <image> [db=demo] [standby=<db>_sb]\n"
+          "      [partitions=1] [pages=256]\n"
+          "      replicate the primary's retained log into a warm\n"
+          "      standby inside the image (spool-file channel, durable\n"
+          "      ship cursor), verify convergence, rewrite the image\n"
+          "  llb_dbtool standby status <image> [db=demo] [standby=<db>_sb]\n"
+          "      [partitions=1] [pages=256]\n"
+          "      read-only replication-lag report: the standby's applied\n"
+          "      LSN vs the primary's durable tail, buffered frames, role\n"
           "  llb_dbtool verify-backup <image> [backup=demo_bk]\n"
           "      re-read every page of the backup chain, verify checksums\n"
           "      and the manifest chain; read-only, exit 2 on damage\n"
@@ -662,7 +800,7 @@ int Usage() {
           "      [nested-points=0]\n"
           "      crash-point sweep of a pipeline scenario (backup, resume,\n"
           "      scrub, restore, batched, parallel, restore-parallel,\n"
-          "      concurrent, or all):\n"
+          "      log-shipping, concurrent, or all):\n"
           "      run once to count durability events, then crash at each\n"
           "      one, recover,\n"
           "      and verify db + completed backups against the oracle;\n"
@@ -685,6 +823,20 @@ int Main(int argc, char** argv) {
                       argc > 3 ? strtoull(argv[3], nullptr, 10) : 1,
                       argc > 4 ? strtoull(argv[4], nullptr, 10) : 0,
                       argc > 5 ? strtoull(argv[5], nullptr, 10) : 0);
+  }
+  if (cmd == "standby") {
+    if (argc < 4 || std::string(argv[2]) != "status") return Usage();
+    MemEnv env;
+    Status s = LoadImage(argv[3], &env);
+    if (!s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::string db = argc > 4 ? argv[4] : "demo";
+    return CmdStandbyStatus(&env, db,
+                            argc > 5 ? argv[5] : db + "_sb",
+                            argc > 6 ? atoi(argv[6]) : 1,
+                            argc > 7 ? atoi(argv[7]) : 256);
   }
   if (argc < 3) return Usage();
   MemEnv env;
@@ -720,20 +872,43 @@ int Main(int argc, char** argv) {
                     argc > 5 ? argv[5] : argv[2]);
   }
   if (cmd == "restore") {
-    std::string db = argc > 3 ? argv[3] : "demo";
-    std::string backup = argc > 4 ? argv[4] : "demo_bk";
+    // `--to-lsn N` switches from plain media recovery to point-in-time
+    // restore; the remaining arguments stay positional.
+    std::vector<std::string> positional;
+    Lsn to_lsn = kInvalidLsn;
+    bool pitr = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--to-lsn" && i + 1 < argc) {
+        to_lsn = strtoull(argv[++i], nullptr, 10);
+        pitr = true;
+        continue;
+      }
+      positional.emplace_back(argv[i]);
+    }
+    std::string db = !positional.empty() ? positional[0] : "demo";
+    std::string backup = positional.size() > 1 ? positional[1] : "demo_bk";
     RestoreOptions options;
-    if (argc > 5) options.batch_pages = atoi(argv[5]);
-    if (argc > 6) options.threads = atoi(argv[6]);
-    if (argc > 7) options.pipelined = atoi(argv[7]) != 0;
+    if (positional.size() > 2) {
+      options.batch_pages = atoi(positional[2].c_str());
+    }
+    if (positional.size() > 3) options.threads = atoi(positional[3].c_str());
+    if (positional.size() > 4) {
+      options.pipelined = atoi(positional[4].c_str()) != 0;
+    }
     OpRegistry registry;
     RegisterAllOps(&registry);
-    auto report_or = RestoreFromBackupWithOptions(&env, Database::StableName(db),
-                                                  Database::LogName(db), backup,
-                                                  registry, options);
+    auto report_or =
+        pitr ? Database::RestoreToLsn(&env, db, to_lsn, registry, options)
+             : RestoreFromBackupWithOptions(&env, Database::StableName(db),
+                                            Database::LogName(db), backup,
+                                            registry, options);
     if (!report_or.ok()) {
       fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
       return 1;
+    }
+    if (pitr) {
+      printf("point-in-time restore to lsn %llu: ",
+             static_cast<unsigned long long>(to_lsn));
     }
     printf("restored %llu pages from %u backup(s); %llu ops rolled "
            "forward\n",
@@ -741,6 +916,12 @@ int Main(int argc, char** argv) {
            report_or->backups_applied,
            static_cast<unsigned long long>(report_or->redo.ops_replayed));
     return CmdVerify(&env, db, 1, 256);
+  }
+  if (cmd == "ship") {
+    std::string db = argc > 3 ? argv[3] : "demo";
+    return CmdShip(&env, argv[2], db, argc > 4 ? argv[4] : db + "_sb",
+                   argc > 5 ? atoi(argv[5]) : 1,
+                   argc > 6 ? atoi(argv[6]) : 256);
   }
   return Usage();
 }
