@@ -26,6 +26,12 @@ void CacheManager::Touch(const PageId& id, Frame& frame) {
   frame.lru_pos = lru_.begin();
 }
 
+void CacheManager::SetPageFaultHandler(
+    std::function<Status(const PageId&)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_fault_handler_ = std::move(handler);
+}
+
 Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -35,6 +41,12 @@ Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
     return Status::OK();
   }
   ++stats_.misses;
+  // Restoring mode: restore the page on demand before reading it from S.
+  // The handler persists its restored-bitmap before returning, so the
+  // value read below is durably the media-recovery state.
+  if (page_fault_handler_) {
+    LLB_RETURN_IF_ERROR(page_fault_handler_(id));
+  }
   LLB_RETURN_IF_ERROR(EnsureRoom());
   Frame f;
   LLB_RETURN_IF_ERROR(stable_->ReadPage(id, &f.image));
@@ -141,6 +153,18 @@ Status CacheManager::ExecuteOp(LogRecord* rec) {
   for (const PageId& id : rec->writeset) {
     if (!ctx.staged().count(id)) {
       return Status::Internal("apply missed declared target " + id.ToString());
+    }
+  }
+
+  // Restoring mode: fault in every writeset page BEFORE the record is
+  // appended. Read pages faulted during Apply; blind-write targets did
+  // not, and a concurrent Force could seal the record durably before the
+  // page's restore/bit became durable — after a crash the fault path
+  // would then overwrite the redone value with the backup state.
+  if (page_fault_handler_) {
+    for (const PageId& id : rec->writeset) {
+      Frame* frame = nullptr;
+      LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
     }
   }
 

@@ -2,6 +2,7 @@
 #define LLB_CACHE_CACHE_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,18 @@ class CacheManager {
   /// Reads the current image of a page (through the cache).
   Status ReadPage(const PageId& id, PageImage* out);
 
+  /// Installs (nullptr clears) the page-fault handler a restoring-mode
+  /// database wires to its InstantRestorer: invoked on every cache miss,
+  /// before the page is read from S, so a not-yet-restored page is
+  /// restored on demand first. While a handler is installed, ExecuteOp
+  /// additionally pre-faults each operation's writeset before logging it
+  /// — a blind write's record must not become durable (a concurrent
+  /// Force can seal it) before the page it overwrites is durably
+  /// restored and marked, or a crash would let the fault path clobber
+  /// the redone value. Takes the cache mutex: installation/removal
+  /// excludes in-flight faults (lock order cache -> restorer).
+  void SetPageFaultHandler(std::function<Status(const PageId&)> handler);
+
   /// Executes an operation: applies it to the cached pages via its
   /// registered apply function, assigns its LSN, logs it, and registers
   /// it with the write graph. On return *rec carries the assigned LSN.
@@ -166,6 +179,7 @@ class CacheManager {
   const CacheOptions options_;
 
   mutable std::mutex mu_;
+  std::function<Status(const PageId&)> page_fault_handler_;
   std::unordered_map<PageId, Frame, PageIdHash> frames_;
   std::list<PageId> lru_;  // front = most recent
   CacheStats stats_;

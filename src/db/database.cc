@@ -43,6 +43,26 @@ Result<std::unique_ptr<Database>> Database::Open(Env* env,
   return db;
 }
 
+Result<std::unique_ptr<Database>> Database::OpenRestoring(
+    Env* env, const std::string& name, const DbOptions& options,
+    const std::string& backup_name) {
+  if (options.partitions == 0 || options.pages_per_partition == 0) {
+    return Status::InvalidArgument("database needs >= 1 partition and page");
+  }
+  if (options.standby) {
+    return Status::InvalidArgument(
+        "instant restore opens a primary; standby catches up by log "
+        "shipping instead");
+  }
+  if (backup_name.empty()) {
+    return Status::InvalidArgument("instant restore needs a backup name");
+  }
+  std::unique_ptr<Database> db(new Database(env, name, options));
+  db->restore_backup_name_ = backup_name;
+  LLB_RETURN_IF_ERROR(db->Init());
+  return db;
+}
+
 Status Database::Init() {
   LLB_ASSIGN_OR_RETURN(log_, LogManager::Open(env_, LogName(name_)));
   LLB_ASSIGN_OR_RETURN(
@@ -53,6 +73,38 @@ Status Database::Init() {
   cache_ = std::make_unique<CacheManager>(
       stable_.get(), log_.get(), &registry_, MakeGraph(options_.graph),
       &coordinator_, &tracker_, cache_options);
+
+  if (!restore_backup_name_.empty()) {
+    InstantRestoreOptions restore_options;
+    restore_options.batch_pages = options_.restore_batch_pages;
+    restore_options.step_pages = options_.restore_batch_pages;
+    LLB_ASSIGN_OR_RETURN(
+        restorer_,
+        InstantRestorer::Open(env_, RestoreBitmapName(name_),
+                              restore_backup_name_, registry_, stable_.get(),
+                              log_.get(), restore_options));
+    if (restorer_->partitions() != options_.partitions ||
+        restorer_->pages_per_partition() != options_.pages_per_partition) {
+      return Status::InvalidArgument(
+          "OpenRestoring geometry does not match the backup chain (" +
+          std::to_string(restorer_->partitions()) + "x" +
+          std::to_string(restorer_->pages_per_partition()) + ")");
+    }
+    restoring_.store(true, std::memory_order_release);
+  } else {
+    // A leftover restored-bitmap means an instant restore never finished:
+    // parts of S still hold pre-failure garbage. Refuse a plain open —
+    // resume via OpenRestoring (or redo the restore offline, which
+    // discards the cell).
+    Result<std::string> cell =
+        DurableCursor::Load(env_, RestoreBitmapName(name_));
+    if (cell.ok()) {
+      return Status::FailedPrecondition(
+          "unfinished instant restore for '" + name_ +
+          "'; reopen with OpenRestoring to resume it");
+    }
+    if (!cell.status().IsNotFound()) return cell.status();
+  }
 
   if (options_.standby) {
     // The durable role file outranks the flag: a standby promoted in a
@@ -79,7 +131,28 @@ Status Database::RequirePrimary(const char* op) const {
   return Status::OK();
 }
 
+Status Database::RequireNotRestoring(const char* op) const {
+  if (restoring_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        std::string(op) + " refused during instant restore (finish it first)");
+  }
+  return Status::OK();
+}
+
 Status Database::Recover() {
+  if (restoring_.load(std::memory_order_acquire)) {
+    // Crash redo for a restoring database: checkpoints predating the
+    // media failure anchor in pre-failure cache state and say nothing
+    // about the wiped store, so replay everything after the pinned
+    // recovery tail instead. Sound over a half-restored store: a record
+    // got past the tail only after the fault path durably restored and
+    // marked every page it touches.
+    LLB_RETURN_IF_ERROR(restorer_->ResumeRedo());
+    if (restorer_->complete()) return FinalizeRestore();
+    cache_->SetPageFaultHandler(
+        [this](const PageId& id) { return restorer_->RestoreOnFault(id); });
+    return Status::OK();
+  }
   Lsn start = 1;
   if (!standby_.load(std::memory_order_acquire)) {
     LLB_ASSIGN_OR_RETURN(start, FindCrashRedoStart(*log_));
@@ -117,7 +190,39 @@ Status Database::FlushAll() {
 
 Status Database::Checkpoint() {
   LLB_RETURN_IF_ERROR(RequirePrimary("Checkpoint"));
+  // A checkpoint asserts "records before the scan start are installed in
+  // S" — false while pages of S still await media recovery.
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("Checkpoint"));
   return cache_->Checkpoint();
+}
+
+Result<uint64_t> Database::RestoreStep() {
+  if (!restoring_.load(std::memory_order_acquire)) return uint64_t{0};
+  LLB_ASSIGN_OR_RETURN(uint64_t moved, restorer_->Step());
+  if (restorer_->complete()) {
+    LLB_RETURN_IF_ERROR(FinalizeRestore());
+  }
+  return moved;
+}
+
+Status Database::FinishRestore() {
+  if (!restoring_.load(std::memory_order_acquire)) return Status::OK();
+  LLB_RETURN_IF_ERROR(restorer_->Drain());
+  return FinalizeRestore();
+}
+
+Status Database::FinalizeRestore() {
+  cache_->SetPageFaultHandler(nullptr);
+  LLB_RETURN_IF_ERROR(cache_->Checkpoint());
+  LLB_RETURN_IF_ERROR(restorer_->Finalize());
+  restoring_.store(false, std::memory_order_release);
+  restorer_.reset();
+  return Status::OK();
+}
+
+RestoreStatus Database::restore_status() const {
+  if (!restoring_.load(std::memory_order_acquire)) return RestoreStatus{};
+  return restorer_->status();
 }
 
 Status Database::Promote() {
@@ -144,6 +249,8 @@ Status Database::ForceLog() { return log_->Force(); }
 
 Status Database::TruncateLog(Lsn oldest_backup_start_lsn) {
   LLB_RETURN_IF_ERROR(RequirePrimary("TruncateLog"));
+  // The in-flight restore still replays from its chain's start_lsn.
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("TruncateLog"));
   Lsn keep_from = cache_->RedoStartLsn();
   if (oldest_backup_start_lsn != kInvalidLsn &&
       oldest_backup_start_lsn < keep_from) {
@@ -169,6 +276,9 @@ Result<BackupManifest> Database::TakeBackupWithOptions(
     const std::string& backup_name, const BackupJobOptions& job_options,
     BackupJobStats* stats_out) {
   LLB_RETURN_IF_ERROR(RequirePrimary("TakeBackup"));
+  // Backing up a store whose pages partly predate the media failure
+  // would capture garbage with a manifest that claims otherwise.
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("TakeBackup"));
   // The media recovery log scan start point is the crash recovery log
   // scan start point at the time backup begins (paper 1.2). The log up to
   // here must be durable so a media recovery never misses operations.
@@ -198,6 +308,7 @@ Result<BackupManifest> Database::ResumeBackup(
     const std::string& backup_name, const BackupJobOptions& job_options,
     BackupJobStats* stats_out) {
   LLB_RETURN_IF_ERROR(RequirePrimary("ResumeBackup"));
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("ResumeBackup"));
   BackupJobOptions effective = job_options;
   if (effective.pool == nullptr) effective.pool = &sweep_pool_;
   BackupJob job(env_, stable_.get(), &coordinator_, log_.get(),
@@ -218,6 +329,7 @@ Result<ScrubReport> Database::VerifyBackup(const std::string& backup_name) {
 
 Result<ScrubReport> Database::ScrubBackup(const std::string& backup_name) {
   LLB_RETURN_IF_ERROR(RequirePrimary("ScrubBackup"));
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("ScrubBackup"));
   ScrubOptions scrub_options;
   scrub_options.repair = true;
   scrub_options.stable = stable_.get();
@@ -234,8 +346,17 @@ Result<ScrubReport> Database::ScrubBackup(const std::string& backup_name) {
 Result<MediaRecoveryReport> Database::RestoreFromBackup(
     Env* env, const std::string& name, const std::string& backup_name,
     const OpRegistry& registry, const RestoreOptions& options) {
-  return RestoreFromBackupWithOptions(env, StableName(name), LogName(name),
-                                      backup_name, registry, options);
+  LLB_ASSIGN_OR_RETURN(
+      MediaRecoveryReport report,
+      RestoreFromBackupWithOptions(env, StableName(name), LogName(name),
+                                   backup_name, registry, options));
+  // A full offline restore supersedes any half-finished instant restore:
+  // drop its bitmap so plain opens stop refusing.
+  if (!options.partition_only) {
+    LLB_RETURN_IF_ERROR(
+        DurableCursor::Remove(env, RestoreBitmapName(name)));
+  }
+  return report;
 }
 
 Result<MediaRecoveryReport> Database::RestoreToLsn(
@@ -249,6 +370,7 @@ Result<BackupManifest> Database::TakeIncrementalBackup(
     const std::string& backup_name, const std::string& base_name,
     uint32_t steps) {
   LLB_RETURN_IF_ERROR(RequirePrimary("TakeIncrementalBackup"));
+  LLB_RETURN_IF_ERROR(RequireNotRestoring("TakeIncrementalBackup"));
   BackupJobOptions job_options;
   job_options.steps = steps != 0 ? steps : options_.backup_steps;
   job_options.parallel_partitions = options_.parallel_backup;

@@ -16,6 +16,7 @@
 #include "db/stats.h"
 #include "io/env.h"
 #include "ops/op_registry.h"
+#include "recovery/instant_restore.h"
 #include "recovery/media_recovery.h"
 #include "recovery/redo.h"
 #include "storage/page_store.h"
@@ -56,6 +57,11 @@ struct DbOptions {
   /// across all backup runs — no per-backup thread churn. 1 = serial
   /// sweep.
   uint32_t backup_sweep_threads = 1;
+  /// Pages per bulk device IO while an instant restore runs under this
+  /// database: closure seeding from backup carriers and installs into S
+  /// (see InstantRestoreOptions::batch_pages). Irrelevant outside
+  /// OpenRestoring.
+  uint32_t restore_batch_pages = 32;
   /// Open as a warm standby: mutating entry points (Execute, flushes,
   /// checkpoints, backups) are refused, reads bypass the cache, and the
   /// log is fed by a StandbyApplier replaying shipped segments. The role
@@ -81,6 +87,19 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(Env* env,
                                                 const std::string& name,
                                                 const DbOptions& options);
+
+  /// Instant restore: opens the database over a wiped (or half-restored)
+  /// stable store and serves transactions immediately while media
+  /// recovery from `backup_name`'s chain proceeds underneath. A page
+  /// fault on a not-yet-restored page restores its influence closure on
+  /// demand; RestoreStep / FinishRestore drive the background sweep that
+  /// fills in the rest. Progress survives crashes via a durable
+  /// restored-bitmap ("<name>.rbm") — reopen with OpenRestoring to
+  /// resume. Refused with options.standby set. Call Recover() after
+  /// registering domain operations, exactly like a normal open.
+  static Result<std::unique_ptr<Database>> OpenRestoring(
+      Env* env, const std::string& name, const DbOptions& options,
+      const std::string& backup_name);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -184,6 +203,27 @@ class Database {
   /// True while operating as a warm standby (not yet promoted).
   bool standby() const { return standby_.load(std::memory_order_acquire); }
 
+  /// True while an instant restore is still in flight under this
+  /// database (faults restore on demand; backups/checkpoints refused).
+  bool restoring() const { return restoring_.load(std::memory_order_acquire); }
+
+  /// Runs one background restore sweep step (up to
+  /// options.restore_batch_pages seed pages plus their closures),
+  /// yielding to concurrent page faults. Returns pages durably restored;
+  /// finalizes the restore automatically once every page is in. OK(0)
+  /// when not restoring.
+  Result<uint64_t> RestoreStep();
+
+  /// Drives the background sweep to completion and finalizes: fault
+  /// handler detached, a checkpoint written (re-anchoring crash redo now
+  /// that checkpoint-based recovery is sound again), and the
+  /// restored-bitmap removed. Idempotent; OK when not restoring.
+  Status FinishRestore();
+
+  /// Progress snapshot of the in-flight restore (all-zero, restoring =
+  /// false once finished).
+  RestoreStatus restore_status() const;
+
   /// Promotes a standby to a writable primary: writes a checkpoint
   /// anchoring crash redo at the promotion point, durably flips the role
   /// file, and re-enables the mutating entry points. The caller must
@@ -213,6 +253,10 @@ class Database {
   static std::string RoleName(const std::string& name) {
     return name + ".role";
   }
+  /// Durable restored-bitmap cell of an in-flight instant restore.
+  static std::string RestoreBitmapName(const std::string& name) {
+    return name + ".rbm";
+  }
 
   DbStats GatherStats() const;
   void ResetStats();
@@ -222,6 +266,13 @@ class Database {
 
   Status Init();
   Status RequirePrimary(const char* op) const;
+  Status RequireNotRestoring(const char* op) const;
+  /// Final restore handshake; requires the restorer complete. Ordered
+  /// for crash safety: detach the fault handler (cache mutex excludes
+  /// in-flight faults), checkpoint, remove the bitmap cell, clear the
+  /// flag. A crash anywhere in between reopens via OpenRestoring with a
+  /// full bitmap and finalizes again — idempotent.
+  Status FinalizeRestore();
 
   Env* const env_;
   const std::string name_;
@@ -240,6 +291,13 @@ class Database {
   /// Standby role flag: written by Init/Promote, read by every mutating
   /// entry point (possibly from other threads).
   std::atomic<bool> standby_{false};
+
+  /// Instant-restore state: the backup chain head OpenRestoring was given
+  /// (empty on a plain open), the flag the gates read, and the restorer
+  /// (alive exactly while restoring_ is true).
+  std::string restore_backup_name_;
+  std::atomic<bool> restoring_{false};
+  std::unique_ptr<InstantRestorer> restorer_;
 
   /// Atomics: updated by whichever thread runs a backup, read by
   /// GatherStats from concurrent foreground/monitoring threads.

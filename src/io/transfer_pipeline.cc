@@ -71,6 +71,7 @@ void TransferStats::MergeFrom(const TransferStats& other) {
   read_stage_us += other.read_stage_us;
   write_stage_us += other.write_stage_us;
   threads_spawned += other.threads_spawned;
+  pages_skipped += other.pages_skipped;
 }
 
 Status TransferPipeline::ExecutePerPage(const TransferRun& run,
@@ -130,6 +131,49 @@ Status TransferPipeline::WriteRun(const TransferRun& run,
 
 Status TransferPipeline::ExecuteRuns(const TransferRun* runs, size_t count,
                                      uint64_t* pages_moved) {
+  if (!options_.skip && !options_.pause) {
+    return ExecuteRunsRaw(runs, count, pages_moved);
+  }
+  // Hooked mode: consult the pause hook between planned runs (priority
+  // yield, run granularity) and re-evaluate the skip predicate against
+  // each run just before it moves, splitting it into maximal sub-runs of
+  // still-wanted pages. Prefetch overlaps within one planned run's
+  // sub-runs; cross-run prefetch is given up so a pause can never have
+  // speculatively read past the stop point.
+  for (size_t i = 0; i < count; ++i) {
+    if (options_.pause && options_.pause()) return Status::OK();
+    if (!options_.skip) {
+      LLB_RETURN_IF_ERROR(ExecuteRunsRaw(&runs[i], 1, pages_moved));
+      continue;
+    }
+    std::vector<TransferRun> sub;
+    uint64_t skipped = 0;
+    for (uint32_t k = 0; k < runs[i].count; ++k) {
+      const uint32_t page = runs[i].first_page + k;
+      if (options_.skip(PageId{runs[i].partition, page})) {
+        ++skipped;
+        continue;
+      }
+      if (!sub.empty() &&
+          sub.back().first_page + sub.back().count == page) {
+        ++sub.back().count;
+      } else {
+        sub.push_back(TransferRun{runs[i].partition, page, 1});
+      }
+    }
+    if (skipped != 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.pages_skipped += skipped;
+    }
+    if (!sub.empty()) {
+      LLB_RETURN_IF_ERROR(ExecuteRunsRaw(sub.data(), sub.size(), pages_moved));
+    }
+  }
+  return Status::OK();
+}
+
+Status TransferPipeline::ExecuteRunsRaw(const TransferRun* runs, size_t count,
+                                        uint64_t* pages_moved) {
   if (options_.batch_pages <= 1) {
     for (size_t i = 0; i < count; ++i) {
       LLB_RETURN_IF_ERROR(ExecutePerPage(runs[i], pages_moved));

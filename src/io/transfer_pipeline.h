@@ -70,6 +70,9 @@ struct TransferStats {
   /// Transient threads created because no SweepThreadPool was attached
   /// (std::thread per parallel worker, std::async per prefetch).
   uint64_t threads_spawned = 0;
+  /// Pages dropped by the skip predicate at execution time (instant
+  /// restore's background sweep skips pages already faulted in).
+  uint64_t pages_skipped = 0;
 
   void MergeFrom(const TransferStats& other);
 };
@@ -109,6 +112,21 @@ struct TransferOptions {
   /// that were written (the scrubber heals S from here).
   std::function<Status(const TransferRun&, const std::vector<PageImage>&)>
       after_run;
+  /// Per-page filter re-evaluated just before each planned run executes:
+  /// return true to drop the page. A partially-skipped run splits into
+  /// maximal sub-runs of the surviving pages, so bulk IO stays coalesced
+  /// across the gaps that remain. This is how the instant-restore
+  /// background sweep excludes pages the fault path restored after the
+  /// plan was built (belt and braces — the plan itself already omits
+  /// restored pages).
+  std::function<bool(const PageId&)> skip;
+  /// Priority hook checked before each planned run: return true to stop
+  /// the transfer early. The pipeline returns OK with partial progress;
+  /// after_run has fired for every run that did move, so callers know
+  /// exactly what landed. Instant restore points this at its
+  /// fault-waiting flag so an on-demand single-page restore preempts a
+  /// long background sweep at run granularity.
+  std::function<bool()> pause;
 };
 
 /// Moves page runs between two PageStores over any Env: the run-oriented
@@ -154,9 +172,13 @@ class TransferPipeline {
   }
 
   /// Executes a span of runs serially with optional prefetch; the inner
-  /// loop shared by Run and every RunParallel worker.
+  /// loop shared by Run and every RunParallel worker. When skip/pause
+  /// hooks are set, each run is filtered and the pause hook consulted
+  /// before it executes (ExecuteRunsRaw is the hook-free core).
   Status ExecuteRuns(const TransferRun* runs, size_t count,
                      uint64_t* pages_moved);
+  Status ExecuteRunsRaw(const TransferRun* runs, size_t count,
+                        uint64_t* pages_moved);
   Status ExecutePerPage(const TransferRun& run, uint64_t* pages_moved);
   Status WriteRun(const TransferRun& run, std::vector<PageImage>* images,
                   uint64_t* pages_moved);

@@ -37,6 +37,33 @@ Status TruncateLogAfter(Env* env, const std::string& log_name, Lsn cut) {
 
 }  // namespace
 
+Result<RestoreChainPlan> LoadRestoreChain(Env* env,
+                                          const std::string& backup_name) {
+  RestoreChainPlan plan;
+  std::string current = backup_name;
+  while (true) {
+    LLB_ASSIGN_OR_RETURN(BackupManifest m, BackupManifest::Load(env, current));
+    if (!m.complete) {
+      return Status::FailedPrecondition("backup incomplete: " + current);
+    }
+    bool is_incremental = m.incremental;
+    std::string base = m.base_name;
+    plan.chain.push_back(std::move(m));
+    if (!is_incremental) break;
+    if (base.empty()) {
+      return Status::Corruption("incremental backup without base: " + current);
+    }
+    current = base;
+  }
+  std::reverse(plan.chain.begin(), plan.chain.end());
+  for (size_t i = 1; i < plan.chain.size(); ++i) {
+    for (const PageId& id : plan.chain[i].pages) {
+      plan.newest_carrier[RestoreChainPlan::Key(id)] = i;
+    }
+  }
+  return plan;
+}
+
 Result<MediaRecoveryReport> RestoreFromBackup(Env* env,
                                               const std::string& stable_prefix,
                                               const std::string& log_name,
@@ -53,27 +80,13 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
     const RestoreOptions& options) {
   MediaRecoveryReport report;
 
-  // Collect the incremental chain, base first.
-  std::vector<BackupManifest> chain;
-  std::string current = backup_name;
-  while (true) {
-    LLB_ASSIGN_OR_RETURN(BackupManifest m, BackupManifest::Load(env, current));
-    if (!m.complete) {
-      return Status::FailedPrecondition("backup incomplete: " + current);
-    }
-    bool is_incremental = m.incremental;
-    std::string base = m.base_name;
-    chain.push_back(std::move(m));
-    if (!is_incremental) break;
-    if (base.empty()) {
-      return Status::Corruption("incremental backup without base: " + current);
-    }
-    current = base;
-  }
-  std::reverse(chain.begin(), chain.end());
-
-  const BackupManifest& base = chain.front();
-  const BackupManifest& newest = chain.back();
+  // Plan phase: collect the incremental chain (base first) and the
+  // newest-wins carrier index, shared with instant restore.
+  LLB_ASSIGN_OR_RETURN(RestoreChainPlan chain_plan,
+                       LoadRestoreChain(env, backup_name));
+  const std::vector<BackupManifest>& chain = chain_plan.chain;
+  const BackupManifest& base = chain_plan.base();
+  const BackupManifest& newest = chain_plan.newest();
 
   // A point-in-time target must not precede the backup's own completion:
   // pages in B can carry LSNs up to end_lsn, and redo never rolls state
@@ -92,26 +105,18 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
       std::unique_ptr<PageStore> stable,
       PageStore::Open(env, stable_prefix, base.partitions));
 
-  // 1. + 2. Restore the chain, coalesced: compute the newest-wins
-  //    page -> chain-member map first, then bulk-transfer each member's
-  //    surviving pages as runs. Every position lands in S exactly once,
-  //    from the newest chain member carrying it — the naive in-order
-  //    apply wrote every superseded delta page only to overwrite it.
-  std::unordered_map<uint64_t, size_t> newest_carrier;
-  for (size_t i = 1; i < chain.size(); ++i) {
-    for (const PageId& id : chain[i].pages) {
-      newest_carrier[(uint64_t{id.partition} << 32) | id.page] = i;
-    }
-  }
-  std::vector<std::vector<PageId>> claims(chain.size());
+  // 1. + 2. Restore the chain, coalesced: every position lands in S
+  //    exactly once, from the newest chain member carrying it — the naive
+  //    in-order apply wrote every superseded delta page only to
+  //    overwrite it.
+  std::vector<PageId> all_pages;
   for (PartitionId p = 0; p < base.partitions; ++p) {
     if (options.partition_only && p != options.partition) continue;
     for (uint32_t page = 0; page < base.pages_per_partition; ++page) {
-      auto it = newest_carrier.find((uint64_t{p} << 32) | page);
-      claims[it == newest_carrier.end() ? 0 : it->second].push_back(
-          PageId{p, page});
+      all_pages.push_back(PageId{p, page});
     }
   }
+  std::vector<std::vector<PageId>> claims = chain_plan.Claims(all_pages);
   for (size_t i = 0; i < chain.size(); ++i) {
     // Applied even when all its pages are superseded — the member's
     // manifest was still consulted, and the count stays the chain length.

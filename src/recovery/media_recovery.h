@@ -2,6 +2,8 @@
 #define LLB_RECOVERY_MEDIA_RECOVERY_H_
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "backup/backup_store.h"
 #include "common/result.h"
@@ -10,6 +12,47 @@
 #include "recovery/redo.h"
 
 namespace llb {
+
+/// The *plan phase* of media recovery, shared by offline restore and
+/// instant restore: the backup's incremental chain (base first) plus the
+/// newest-wins carrier index. Every page position is read from exactly
+/// one chain member — the newest one carrying it — so chain application
+/// never writes a page only to overwrite it.
+struct RestoreChainPlan {
+  std::vector<BackupManifest> chain;  // base first, restore target last
+  /// Chain index of the newest member carrying the page. Positions absent
+  /// from every incremental (i.e. only in the base full backup) are not
+  /// in the map; CarrierOf resolves them to index 0.
+  std::unordered_map<uint64_t, size_t> newest_carrier;
+
+  static uint64_t Key(const PageId& id) {
+    return (uint64_t{id.partition} << 32) | id.page;
+  }
+
+  const BackupManifest& base() const { return chain.front(); }
+  const BackupManifest& newest() const { return chain.back(); }
+
+  size_t CarrierOf(const PageId& id) const {
+    auto it = newest_carrier.find(Key(id));
+    return it == newest_carrier.end() ? 0 : it->second;
+  }
+
+  /// Groups a partition-major sorted page list by carrying chain member:
+  /// result[i] holds the pages to read from chain[i], preserving the
+  /// input order so TransferPlan::AddPages coalesces adjacent survivors.
+  std::vector<std::vector<PageId>> Claims(
+      const std::vector<PageId>& pages) const {
+    std::vector<std::vector<PageId>> claims(chain.size());
+    for (const PageId& id : pages) claims[CarrierOf(id)].push_back(id);
+    return claims;
+  }
+};
+
+/// Loads `backup_name`'s manifest chain (walking incremental -> base) and
+/// builds the newest-carrier index. Fails if any member is incomplete or
+/// an incremental lacks its base.
+Result<RestoreChainPlan> LoadRestoreChain(Env* env,
+                                          const std::string& backup_name);
 
 struct MediaRecoveryReport {
   uint64_t pages_restored = 0;   // pages copied from backups into S

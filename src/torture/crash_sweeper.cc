@@ -127,6 +127,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "restore-parallel";
     case ScenarioKind::kLogShipping:
       return "log-shipping";
+    case ScenarioKind::kInstantRestore:
+      return "instant-restore";
   }
   return "unknown";
 }
@@ -154,6 +156,12 @@ DbOptions CrashSweeper::MakeDbOptions() const {
   options.backup_batch_pages = scenario_.batch_pages;
   options.backup_pipelined = scenario_.pipelined;
   options.backup_sweep_threads = scenario_.sweep_threads;
+  if (scenario_.kind == ScenarioKind::kInstantRestore) {
+    // Small background steps so the sweep and the faulting workload
+    // genuinely interleave on CI-sized scenarios (one big step would
+    // restore everything before the second workload round).
+    options.restore_batch_pages = 8;
+  }
   return options;
 }
 
@@ -556,6 +564,50 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       return e->Open();
     }
 
+    case ScenarioKind::kInstantRestore: {
+      // Full + incremental chain, then a media failure. Instead of an
+      // off-line restore, the database reopens *restoring*: the workload
+      // resumes immediately against the wiped store, faulting each
+      // touched page's influence closure in on demand, with background
+      // RestoreStep sweeps interleaved between workload rounds.
+      LLB_ASSIGN_OR_RETURN(BackupManifest full,
+                           db->TakeBackup(kFullName, scenario_.backup_steps));
+      if (!full.complete) return Status::Internal("full backup incomplete");
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_mid * 3));
+      LLB_ASSIGN_OR_RETURN(BackupManifest incr,
+                           db->TakeIncrementalBackup(kIncrName, kFullName));
+      if (!incr.complete) {
+        return Status::Internal("incremental backup incomplete");
+      }
+      LLB_RETURN_IF_ERROR(workload->Update(scenario_.updates_post));
+      LLB_RETURN_IF_ERROR(db->ForceLog());
+
+      e->Shutdown();
+      LLB_RETURN_IF_ERROR(SetRestoreMarker(&e->env));
+      LLB_RETURN_IF_ERROR(WipeStable(e));
+      LLB_RETURN_IF_ERROR(e->OpenRestoring(kIncrName));
+      if (!e->db->restoring()) {
+        return Status::Internal("restoring open came up not restoring");
+      }
+      // Fresh workload object bound to the new handle (the old one holds
+      // the pre-crash Database pointer); no Setup — the data already
+      // exists, the generator just replays its deterministic stream.
+      std::unique_ptr<ScenarioWorkload> survivor =
+          MakeWorkload(e->db.get(), scenario_);
+      for (int round = 0; round < 3; ++round) {
+        LLB_RETURN_IF_ERROR(survivor->Update(scenario_.updates_mid));
+        LLB_ASSIGN_OR_RETURN(uint64_t moved, e->db->RestoreStep());
+        (void)moved;
+      }
+      LLB_RETURN_IF_ERROR(e->db->FinishRestore());
+      if (e->db->restoring()) {
+        return Status::Internal("FinishRestore left the restoring flag set");
+      }
+      LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+      LLB_RETURN_IF_ERROR(survivor->Update(scenario_.updates_post));
+      return e->db->ForceLog();
+    }
+
     case ScenarioKind::kLogShipping: {
       // Warm standby in the same env, so one crash schedule covers
       // primary, spool, and standby durability events. The spool is a
@@ -698,6 +750,28 @@ Status CrashSweeper::Salvage(TortureEngine* e,
         return Status::Internal("restore marker without a complete chain");
       }
       chain = kFullName;
+    }
+    if (scenario_.kind == ScenarioKind::kInstantRestore) {
+      // An instant restore resumes as an instant restore: the durable
+      // restored-bitmap (when it survived the crash) carries the done
+      // pages and the pinned recovery tail; when the crash beat the
+      // bitmap's first save — or landed between Finalize and the marker
+      // clear — the restore restarts from scratch. Both are idempotent.
+      // Crash redo for post-tail work happens inside Recover.
+      LLB_RETURN_IF_ERROR(e->OpenRestoring(chain));
+      if (e->db->restoring()) {
+        // Fault one fixed page on demand before draining, so nested
+        // crashes land inside the salvage's own fault path too.
+        PageImage img;
+        LLB_RETURN_IF_ERROR(e->db->ReadPage(PageId{0, 0}, &img));
+      }
+      LLB_RETURN_IF_ERROR(e->db->FinishRestore());
+      LLB_RETURN_IF_ERROR(ClearRestoreMarker(&e->env));
+      ++report->salvage_restores;
+      LLB_RETURN_IF_ERROR(VerifyOpenDb(e));
+      ++report->recoveries_verified;
+      return VerifyCompletedChains(e, RestoreOptionsForScenario(scenario_),
+                                   report);
     }
     LLB_RETURN_IF_ERROR(OfflineRestore(e, chain, kInvalidLsn,
                                        RestoreOptionsForScenario(scenario_)));

@@ -73,6 +73,17 @@ enum class ScenarioKind {
   /// convergence (except when the primary was PITR-rewound behind the
   /// standby, where a real deployment rebuilds the follower).
   kLogShipping,
+  /// Instant restore: full + incremental chain, media failure (wipe of
+  /// S), then the database reopens *restoring* — transactions run
+  /// immediately against the wiped store, faulting each touched page's
+  /// influence closure in from the chain on demand, interleaved with
+  /// background RestoreStep sweeps, then FinishRestore. Crashes land on
+  /// every durability event of the restore window, including
+  /// mid-on-demand-fault (between a closure install and its bitmap
+  /// save); salvage resumes the instant restore from the durable
+  /// restored-bitmap — or restarts it when the crash beat the bitmap's
+  /// first save — never plain crash redo over a half-restored store.
+  kInstantRestore,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);

@@ -12,6 +12,12 @@ Status TortureEngine::Open() {
   return db->Recover();
 }
 
+Status TortureEngine::OpenRestoring(const std::string& chain) {
+  LLB_ASSIGN_OR_RETURN(db, Database::OpenRestoring(&env, name, options, chain));
+  RegisterAllOps(db->registry());
+  return db->Recover();
+}
+
 Status TortureEngine::OpenStandby() {
   DbOptions standby_options = options;
   standby_options.standby = true;

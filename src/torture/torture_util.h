@@ -42,6 +42,12 @@ struct TortureEngine {
   /// a crash reopens writable.
   Status OpenStandby();
 
+  /// Opens the database in restoring mode over backup chain `chain`
+  /// (Database::OpenRestoring): serves transactions immediately while
+  /// instant media recovery proceeds underneath. Resumes a half-done
+  /// restore from the durable restored-bitmap when one survived.
+  Status OpenRestoring(const std::string& chain);
+
   /// Closes the database handles without a crash (volatile state of the
   /// env is preserved; used before off-line media recovery).
   void Shutdown() {

@@ -11,6 +11,7 @@
 #include "backup/backup_scrubber.h"
 #include "backup/backup_store.h"
 #include "btree/btree.h"
+#include "io/durable_cursor.h"
 #include "io/fault_env.h"
 #include "io/faulty_env.h"
 #include "io/mem_env.h"
@@ -153,6 +154,107 @@ TEST(BackupCursorTest, CorruptCursorDetected) {
 TEST(BackupCursorTest, RemoveMissingIsOk) {
   MemEnv env;
   EXPECT_OK(BackupCursor::Remove(&env, "never-saved"));
+}
+
+// ---------- DurableCursor under injected faults ----------
+//
+// Every cursor-cell user (backup cursor, ship cursor, restored-bitmap)
+// leans on the same two promises: a failed Save leaves the previous
+// payload loadable, and a torn tmp write can never surface as a clean
+// Load. Exercise both through FaultyEnv.
+
+TEST(DurableCursorFaultTest, FailedTmpWriteKeepsPreviousPayload) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v1")));
+
+  ScriptedFaultPolicy policy(
+      {{FaultOp::kWriteAt, "cell.tmp", 1, FaultAction::kFail}});
+  env.SetPolicy(&policy);
+  Status s = DurableCursor::Save(&env, "cell", Slice("v2"));
+  env.SetPolicy(nullptr);
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+  EXPECT_EQ(policy.fired(), 1u);
+
+  // The fault hit the tmp file before the rename: the cell still reads
+  // as v1, and the very next Save (transient fault gone) lands v2.
+  ASSERT_OK_AND_ASSIGN(std::string payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v1");
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v2")));
+  ASSERT_OK_AND_ASSIGN(payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v2");
+}
+
+TEST(DurableCursorFaultTest, FailedTmpSyncKeepsPreviousPayload) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v1")));
+
+  ScriptedFaultPolicy policy(
+      {{FaultOp::kSync, "cell.tmp", 1, FaultAction::kFail}});
+  env.SetPolicy(&policy);
+  EXPECT_TRUE(DurableCursor::Save(&env, "cell", Slice("v2")).IsIoError());
+  env.SetPolicy(nullptr);
+
+  ASSERT_OK_AND_ASSIGN(std::string payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v1");
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v2")));
+  ASSERT_OK_AND_ASSIGN(payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v2");
+}
+
+TEST(DurableCursorFaultTest, TornTmpWriteIsCaughtByCrcNotServed) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  // A silent bit-flip on the tmp write: Save itself reports success (the
+  // rot is silent by construction) — the crc trailer must catch it at
+  // Load instead of serving a torn payload as clean.
+  ScriptedFaultPolicy policy(
+      {{FaultOp::kWriteAt, "cell.tmp", 1, FaultAction::kCorrupt}});
+  env.SetPolicy(&policy);
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("payload-v1")));
+  env.SetPolicy(nullptr);
+  EXPECT_EQ(policy.fired(), 1u);
+
+  Status s = DurableCursor::Load(&env, "cell").status();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // Re-saving over the rotten cell heals it.
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("payload-v2")));
+  ASSERT_OK_AND_ASSIGN(std::string payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "payload-v2");
+}
+
+TEST(DurableCursorFaultTest, ReadFaultIsTransient) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v1")));
+  ScriptedFaultPolicy policy(
+      {{FaultOp::kReadAt, "cell", 1, FaultAction::kFail}});
+  env.SetPolicy(&policy);
+  EXPECT_TRUE(DurableCursor::Load(&env, "cell").status().IsIoError());
+  ASSERT_OK_AND_ASSIGN(std::string payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v1");
+}
+
+TEST(DurableCursorFaultTest, OrphanTmpFromCrashBeforeRenameIsHarmless) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v1")));
+  // A crash between sync and rename leaves a fully-written "<name>.tmp"
+  // next to the cell. Loads must keep serving the old payload, and the
+  // next Save must overwrite the orphan, not trip over it.
+  {
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<File> tmp,
+                         env.OpenFile("cell.tmp", true));
+    ASSERT_OK(tmp->WriteAt(0, Slice("half-written garbage")));
+  }
+  ASSERT_OK_AND_ASSIGN(std::string payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v1");
+  ASSERT_OK(DurableCursor::Save(&env, "cell", Slice("v2")));
+  ASSERT_OK_AND_ASSIGN(payload, DurableCursor::Load(&env, "cell"));
+  EXPECT_EQ(payload, "v2");
+  EXPECT_FALSE(env.FileExists("cell.tmp"));
 }
 
 // ---------- end-to-end fixtures ----------

@@ -106,6 +106,72 @@ TEST(TransferPlanTest, AddRangeSplitsOnFilterGaps) {
   EXPECT_EQ(plan.pages(), 6u);
 }
 
+TEST(TransferPlanTest, DenseButPatchyFilterDegeneratesToSingletonRuns) {
+  // The instant-restore sweep plans around already-restored pages, and
+  // the worst case for run coalescing is a dense-but-patchy filter:
+  // every other page still missing. No two accepted positions are
+  // adjacent, so the plan must degenerate to singleton runs — one per
+  // accepted page, never a run spanning a restored hole — regardless of
+  // how large batch_pages is.
+  std::vector<uint32_t> odd_pages;
+  for (uint32_t page = 1; page < 64; page += 2) odd_pages.push_back(page);
+  TransferPlan plan;
+  plan.AddRange(0, 0, 64, &odd_pages, /*batch_pages=*/32);
+  ASSERT_EQ(plan.runs().size(), odd_pages.size());
+  for (size_t i = 0; i < plan.runs().size(); ++i) {
+    EXPECT_EQ(plan.runs()[i].first_page, odd_pages[i]);
+    EXPECT_EQ(plan.runs()[i].count, 1u);
+  }
+  EXPECT_EQ(plan.pages(), odd_pages.size());
+}
+
+TEST(TransferPlanTest, PatchyFilterRunsBreakAtEveryGapAndChopAtBatch) {
+  // Mixed density: a solid prefix longer than batch_pages, then an
+  // every-other-page tail. The prefix chops at the batch boundary (a
+  // scheduling split), the tail splits at each gap (a correctness
+  // split), and no run bridges the two regimes.
+  std::vector<uint32_t> filter;
+  for (uint32_t page = 0; page < 12; ++page) filter.push_back(page);
+  for (uint32_t page = 13; page < 29; page += 2) filter.push_back(page);
+  TransferPlan plan;
+  plan.AddRange(0, 0, 29, &filter, /*batch_pages=*/8);
+  // Prefix 0..11 -> [0,8) + [8,12); tail -> singletons 13,15,...,27.
+  ASSERT_EQ(plan.runs().size(), 2u + 8u);
+  EXPECT_EQ(plan.runs()[0].first_page, 0u);
+  EXPECT_EQ(plan.runs()[0].count, 8u);
+  EXPECT_EQ(plan.runs()[1].first_page, 8u);
+  EXPECT_EQ(plan.runs()[1].count, 4u);
+  for (size_t i = 2; i < plan.runs().size(); ++i) {
+    EXPECT_EQ(plan.runs()[i].first_page, 13u + 2 * (i - 2));
+    EXPECT_EQ(plan.runs()[i].count, 1u);
+  }
+  EXPECT_EQ(plan.pages(), filter.size());
+}
+
+TEST(TransferPlanTest, FilterClampsToRangeBounds) {
+  // Filter entries outside [from, to) — pages another sweep step owns —
+  // must not leak runs into this step's plan.
+  const std::vector<uint32_t> filter = {0, 3, 9, 10, 11, 17, 30};
+  TransferPlan plan;
+  plan.AddRange(0, 8, 16, &filter, /*batch_pages=*/8);
+  ASSERT_EQ(plan.runs().size(), 1u);
+  EXPECT_EQ(plan.runs()[0].first_page, 9u);
+  EXPECT_EQ(plan.runs()[0].count, 3u);
+  EXPECT_EQ(plan.pages(), 3u);
+}
+
+TEST(TransferPlanTest, AllPagesFilteredOutYieldsEmptyPlan) {
+  // A fully-restored region plans to nothing (the sweep's termination
+  // case), as does an empty filter list.
+  const std::vector<uint32_t> outside = {40, 41, 42};
+  const std::vector<uint32_t> empty;
+  TransferPlan plan;
+  plan.AddRange(0, 0, 32, &outside, /*batch_pages=*/8);
+  plan.AddRange(1, 0, 32, &empty, /*batch_pages=*/8);
+  EXPECT_TRUE(plan.runs().empty());
+  EXPECT_EQ(plan.pages(), 0u);
+}
+
 TEST(TransferPlanTest, SeparateAddRangeCallsNeverMergeRuns) {
   // A resumed sweep step re-plans from its durable boundary; its first
   // run must not fuse with the previous call's trailing run even when

@@ -151,6 +151,42 @@ TEST(CrashSweepTest, ParallelRestoreScenarioAllPoints) {
   EXPECT_GT(report.salvage_restores, 0u);
 }
 
+TEST(CrashSweepTest, InstantRestoreScenarioAllPoints) {
+  CrashSweepReport report =
+      SweepAllPoints(ScenarioKind::kInstantRestore, WriteGraphKind::kGeneral);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  EXPECT_GT(report.backups_verified, 0u);
+  // Crash points inside the wipe/instant-restore window — including
+  // between a closure install and its bitmap save — resume the instant
+  // restore from the durable bitmap (or restart it from scratch) rather
+  // than running plain crash redo over a half-restored store.
+  EXPECT_GT(report.salvage_restores, 0u);
+}
+
+TEST(CrashSweepTest, InstantRestoreScenarioTreeGraph) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kInstantRestore, WriteGraphKind::kTree);
+  SweepOptions options;
+  options.max_points = 24;  // general graph gets the all-points sweep above
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_LE(report.points_tested, 24u);
+  EXPECT_GT(report.recoveries_verified, 0u);
+}
+
+TEST(NestedCrashTest, CrashDuringInstantRestoreSalvage) {
+  SweepOptions options;
+  options.max_points = 4;
+  options.nested_primary_points = 3;
+  options.nested_max_points = 8;
+  CrashSweeper sweeper(
+      SmallScenario(ScenarioKind::kInstantRestore, WriteGraphKind::kGeneral));
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.nested_points_tested, 0u);
+}
+
 TEST(CrashSweepTest, LogShippingScenarioAllPoints) {
   CrashSweepReport report =
       SweepAllPoints(ScenarioKind::kLogShipping, WriteGraphKind::kTree);

@@ -17,7 +17,10 @@ Two layers of checks:
      meet --min-ship-keepup (default 0.3x) — a loose floor that catches
      apply-path collapses (bench_x9_log_shipping); the ratio is too
      noisy on small shared runners for the 15% baseline band, so it is
-     invariant-gated only.
+     invariant-gated only. The derived instant-restore TTFT speedup
+     (single-worker offline restore TTFT over restoring-mode open TTFT)
+     must meet --min-ttft-speedup (default 10.0x) on the same profile
+     (bench_x10_instant_restore; EXPERIMENTS.md X10).
 
   2. Baseline comparison (with --baseline): derived metrics are
      throughput *ratios* measured on one machine, so they transfer across
@@ -54,7 +57,8 @@ def ratio_metrics(derived):
         k: v for k, v in derived.items()
         if isinstance(v, (int, float)) and
         (k.startswith("speedup_") or k in ("batched_speedup_best",
-                                           "latch_reduction_k16"))
+                                           "latch_reduction_k16",
+                                           "ttft_speedup"))
     }
 
 
@@ -80,6 +84,12 @@ def main():
                              "and is deliberately loose — the ratio is "
                              "noisy on small shared runners, so it is "
                              "excluded from the baseline band)")
+    parser.add_argument("--min-ttft-speedup", type=float, default=10.0,
+                        help="required time-to-first-transaction speedup "
+                             "of instant restore over the single-worker "
+                             "offline restore under the simulated-HDD "
+                             "profile (bench_x10_instant_restore; "
+                             "EXPERIMENTS.md X10)")
     parser.add_argument("--absolute", action="store_true",
                         help="also compare absolute bytes_per_second "
                              "(same-hardware baselines only)")
@@ -136,6 +146,18 @@ def main():
     else:
         print("bench_check: log-shipping keep-up ratio %.3fx (>= %.2fx)" %
               (keepup, args.min_ship_keepup))
+
+    ttft = current.get("derived", {}).get("ttft_speedup")
+    if ttft is None:
+        failures.append("current file has no ttft_speedup "
+                        "(did bench_x10_instant_restore run?)")
+    elif ttft < args.min_ttft_speedup:
+        failures.append(
+            "instant-restore TTFT speedup %.3fx < required %.2fx" %
+            (ttft, args.min_ttft_speedup))
+    else:
+        print("bench_check: instant-restore TTFT speedup %.3fx (>= %.2fx)" %
+              (ttft, args.min_ttft_speedup))
 
     if args.baseline:
         baseline = load(args.baseline)

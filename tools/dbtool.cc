@@ -11,6 +11,11 @@
 //   llb_dbtool manifest <image> <backup>    print a backup manifest
 //   llb_dbtool verify <image> <db>          stable state vs full-log oracle
 //   llb_dbtool restore <image> <db> <bk>    media recovery, then verify
+//   llb_dbtool restore <image> <db> <bk> --instant
+//                                           instant restore: serve reads
+//                                           while pages stream back in
+//   llb_dbtool restore status <image> <db>  progress of an interrupted
+//                                           instant restore (bitmap cell)
 //   llb_dbtool verify-backup <image> <bk>   scrub (read-only): checksums +
 //                                           manifest chain of a backup
 //   llb_dbtool scrub <image> <bk> <db>      verify + repair bad backup pages
@@ -521,6 +526,89 @@ int CmdStandbyStatus(MemEnv* env, const std::string& db_name,
   return 0;
 }
 
+// ---------- instant restore ----------
+
+// Progress report of an interrupted instant restore, decoded read-only
+// from the durable restored-bitmap cell ("<db>.rbm").
+int CmdRestoreStatus(MemEnv* env, const std::string& db_name) {
+  std::string backup;
+  auto status_or = InstantRestorer::InspectBitmap(
+      env, Database::RestoreBitmapName(db_name), &backup);
+  if (!status_or.ok()) {
+    if (status_or.status().IsNotFound()) {
+      printf("no instant restore in progress for db '%s'\n", db_name.c_str());
+      return 0;
+    }
+    fprintf(stderr, "%s\n", status_or.status().ToString().c_str());
+    return 1;
+  }
+  printf("instant restore of db '%s' from chain '%s': %llu/%llu pages "
+         "(%.1f%%)%s\n",
+         db_name.c_str(), backup.c_str(),
+         static_cast<unsigned long long>(status_or->pages_restored),
+         static_cast<unsigned long long>(status_or->pages_total),
+         status_or->fraction * 100.0,
+         status_or->complete ? ", complete — reopen to finalize" : "");
+  printf("recovery tail: lsn %llu (reopen with 'restore --instant' or\n"
+         "Database::OpenRestoring to resume)\n",
+         static_cast<unsigned long long>(status_or->recovery_tail));
+  return 0;
+}
+
+// Instant media recovery: the database opens immediately over S (wiped,
+// damaged, or half-restored — the restore overwrites every page not yet
+// marked restored), serves a read through the on-demand fault path, and
+// drives the background sweep to completion, printing progress per step.
+int CmdInstantRestore(MemEnv* env, const std::string& db_name,
+                      const std::string& backup_name, uint32_t batch_pages) {
+  auto manifest_or = BackupManifest::Load(env, backup_name);
+  if (!manifest_or.ok()) {
+    fprintf(stderr, "%s\n", manifest_or.status().ToString().c_str());
+    return 1;
+  }
+  DbOptions options =
+      ImageDbOptions(manifest_or->partitions, manifest_or->pages_per_partition);
+  if (batch_pages > 0) options.restore_batch_pages = batch_pages;
+  auto run = [&]() -> Status {
+    LLB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Database> db,
+        Database::OpenRestoring(env, db_name, options, backup_name));
+    RegisterAllOps(db->registry());
+    LLB_RETURN_IF_ERROR(db->Recover());
+    if (db->restoring()) {
+      // One read through the cache takes the prioritized fault path
+      // transactions would take; the loop below is the background sweep.
+      PageImage image;
+      LLB_RETURN_IF_ERROR(db->ReadPage(PageId{0, 0}, &image));
+    }
+    while (db->restoring()) {
+      RestoreStatus st = db->restore_status();
+      printf("  %llu/%llu pages (%.1f%%), %llu on demand "
+             "(%llu closure), %llu swept, eta %llu us\n",
+             static_cast<unsigned long long>(st.pages_restored),
+             static_cast<unsigned long long>(st.pages_total),
+             st.fraction * 100.0,
+             static_cast<unsigned long long>(st.pages_faulted),
+             static_cast<unsigned long long>(st.closure_pages),
+             static_cast<unsigned long long>(st.sweep_pages),
+             static_cast<unsigned long long>(st.eta_us));
+      LLB_ASSIGN_OR_RETURN(uint64_t moved, db->RestoreStep());
+      (void)moved;
+    }
+    LLB_RETURN_IF_ERROR(db->FinishRestore());
+    printf("instant restore of '%s' from '%s' complete\n", db_name.c_str(),
+           backup_name.c_str());
+    return Status::OK();
+  };
+  Status s = run();
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  return CmdVerify(env, db_name, manifest_or->partitions,
+                   manifest_or->pages_per_partition);
+}
+
 // End-to-end smoke over the real file-backed environment: open a
 // database under `root`, load it, take a parallel batched backup, verify
 // the chain, then close and recover from the on-disk files. This is the
@@ -735,6 +823,7 @@ int CmdTorture(const std::string& scenario, uint64_t seed,
       {"parallel", ScenarioKind::kParallelBackup},
       {"restore-parallel", ScenarioKind::kParallelRestore},
       {"log-shipping", ScenarioKind::kLogShipping},
+      {"instant-restore", ScenarioKind::kInstantRestore},
   };
   bool matched = false;
   int rc = 0;
@@ -766,13 +855,22 @@ int Usage() {
           "  llb_dbtool verify <image> [db=demo] [partitions=1] [pages=256]\n"
           "  llb_dbtool restore <image> [db=demo] [backup=demo_bk]\n"
           "      [batch=32] [threads=1] [pipelined=0] [--to-lsn N]\n"
+          "      [--instant]\n"
           "      off-line media recovery: wipe-tolerant restore of the\n"
           "      chain with multi-page batched IO, optional prefetch\n"
           "      pipelining, and partition-sharded restore workers;\n"
           "      --to-lsn N restores to a point in time instead (picks\n"
           "      the newest chain ending at or before N, rolls forward\n"
           "      to exactly N, discards the log suffix; N must not cut\n"
-          "      a multi-record atomic group)\n"
+          "      a multi-record atomic group);\n"
+          "      --instant opens the database restoring-mode instead:\n"
+          "      it serves transactions immediately, restoring faulted\n"
+          "      pages' influence closures on demand while a background\n"
+          "      sweep (progress printed per step) fills in the rest;\n"
+          "      crash-resumable via the durable restored-bitmap\n"
+          "  llb_dbtool restore status <image> [db=demo]\n"
+          "      progress of an interrupted instant restore, decoded\n"
+          "      read-only from the restored-bitmap cell (<db>.rbm)\n"
           "  llb_dbtool ship <image> [db=demo] [standby=<db>_sb]\n"
           "      [partitions=1] [pages=256]\n"
           "      replicate the primary's retained log into a warm\n"
@@ -800,12 +898,11 @@ int Usage() {
           "      [nested-points=0]\n"
           "      crash-point sweep of a pipeline scenario (backup, resume,\n"
           "      scrub, restore, batched, parallel, restore-parallel,\n"
-          "      log-shipping, concurrent, or all):\n"
+          "      log-shipping, instant-restore, concurrent, or all):\n"
           "      run once to count durability events, then crash at each\n"
-          "      one, recover,\n"
-          "      and verify db + completed backups against the oracle;\n"
-          "      max-points caps the sweep (0 = every event) and\n"
-          "      nested-points > 0 also crashes the recovery itself\n");
+          "      one, recover, and verify db + completed backups against\n"
+          "      the oracle; max-points caps the sweep (0 = every event)\n"
+          "      and nested-points > 0 also crashes the recovery itself\n");
   return 64;
 }
 
@@ -823,6 +920,16 @@ int Main(int argc, char** argv) {
                       argc > 3 ? strtoull(argv[3], nullptr, 10) : 1,
                       argc > 4 ? strtoull(argv[4], nullptr, 10) : 0,
                       argc > 5 ? strtoull(argv[5], nullptr, 10) : 0);
+  }
+  if (cmd == "restore" && argc > 2 && std::string(argv[2]) == "status") {
+    if (argc < 4) return Usage();
+    MemEnv env;
+    Status s = LoadImage(argv[3], &env);
+    if (!s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    return CmdRestoreStatus(&env, argc > 4 ? argv[4] : "demo");
   }
   if (cmd == "standby") {
     if (argc < 4 || std::string(argv[2]) != "status") return Usage();
@@ -873,17 +980,35 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "restore") {
     // `--to-lsn N` switches from plain media recovery to point-in-time
-    // restore; the remaining arguments stay positional.
+    // restore; `--instant` opens the database restoring-mode instead of
+    // copying offline. The remaining arguments stay positional.
     std::vector<std::string> positional;
     Lsn to_lsn = kInvalidLsn;
     bool pitr = false;
+    bool instant = false;
     for (int i = 3; i < argc; ++i) {
       if (std::string(argv[i]) == "--to-lsn" && i + 1 < argc) {
         to_lsn = strtoull(argv[++i], nullptr, 10);
         pitr = true;
         continue;
       }
+      if (std::string(argv[i]) == "--instant") {
+        instant = true;
+        continue;
+      }
       positional.emplace_back(argv[i]);
+    }
+    if (instant && pitr) {
+      fprintf(stderr, "--instant cannot be combined with --to-lsn (an "
+                      "instant restore always rolls forward to the end of "
+                      "the log)\n");
+      return 64;
+    }
+    if (instant) {
+      return CmdInstantRestore(
+          &env, !positional.empty() ? positional[0] : "demo",
+          positional.size() > 1 ? positional[1] : "demo_bk",
+          positional.size() > 2 ? atoi(positional[2].c_str()) : 0);
     }
     std::string db = !positional.empty() ? positional[0] : "demo";
     std::string backup = positional.size() > 1 ? positional[1] : "demo_bk";
