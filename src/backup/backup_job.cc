@@ -230,6 +230,7 @@ Result<BackupManifest> BackupJob::Sweep(BackupManifest manifest,
   TransferOptions transfer;
   transfer.batch_pages = options_.batch_pages;
   transfer.pipelined = options_.pipelined;
+  transfer.queue_depth = options_.queue_depth;
   transfer.pool = options_.pool;
   transfer.io_wrapper = [this](const std::function<Status()>& fn) {
     return WithRetry(fn);

@@ -78,6 +78,15 @@ struct BackupJobOptions {
   /// Doubt are read ahead, so a concurrent flush to a Pend page can
   /// never race a read the fence maths doesn't know about.
   bool pipelined = false;
+  /// Deep-queue asynchronous IO inside each step (only effective with
+  /// batch_pages > 1, superseding `pipelined`): each sweep worker keeps
+  /// up to queue_depth run IOs in flight through Env::OpenAsync
+  /// (io_uring where the kernel grants it, the portable thread pool
+  /// elsewhere). Read-ahead stays bounded by the step's Doubt window,
+  /// exactly like prefetch: the pipeline never reaches past the plan it
+  /// is handed, and plans stop at the pending fence. <= 1 keeps the
+  /// synchronous path.
+  uint32_t queue_depth = 0;
   /// Persist a per-partition cursor in the backup store after every
   /// completed step, so an aborted Run can be continued with Resume
   /// instead of restarting from page 0. Costs one small durable write

@@ -7,10 +7,19 @@
 namespace llb::crc32c {
 
 /// Computes the CRC-32C (Castagnoli) checksum of `data[0, n)` extending
-/// `init_crc` (pass 0 for a fresh checksum).
+/// `init_crc` (pass 0 for a fresh checksum). Dispatches once, at first
+/// use, to the fastest implementation the CPU offers: the SSE4.2 crc32
+/// instruction on x86-64, the ARMv8 CRC32 extension on aarch64, and the
+/// table-driven software loop everywhere else. All three produce
+/// identical checksums (tests/crc32c_test.cc pins the agreement), so
+/// pages sealed on one machine verify on any other.
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
 
 inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Which implementation Extend dispatches to: "sse4.2", "armv8-crc", or
+/// "software". Surfaced by `dbtool env-caps`.
+const char* Backend();
 
 /// Masks a CRC so that a CRC of data that itself contains CRCs does not
 /// degenerate (same trick as LevelDB/RocksDB).
@@ -22,6 +31,12 @@ inline uint32_t Unmask(uint32_t masked) {
   uint32_t rot = masked - 0xa282ead8u;
   return (rot >> 17) | (rot << 15);
 }
+
+namespace internal {
+/// The portable table-driven implementation, exposed so tests can check
+/// hardware/software agreement on the same inputs.
+uint32_t ExtendSoftware(uint32_t init_crc, const char* data, size_t n);
+}  // namespace internal
 
 }  // namespace llb::crc32c
 

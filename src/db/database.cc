@@ -77,6 +77,7 @@ Status Database::Init() {
   if (!restore_backup_name_.empty()) {
     InstantRestoreOptions restore_options;
     restore_options.batch_pages = options_.restore_batch_pages;
+    restore_options.queue_depth = options_.io_queue_depth;
     restore_options.step_pages = options_.restore_batch_pages;
     LLB_ASSIGN_OR_RETURN(
         restorer_,
@@ -268,6 +269,7 @@ Result<BackupManifest> Database::TakeBackup(const std::string& backup_name,
   job_options.parallel_partitions = options_.parallel_backup;
   job_options.batch_pages = options_.backup_batch_pages;
   job_options.pipelined = options_.backup_pipelined;
+  job_options.queue_depth = options_.io_queue_depth;
   job_options.sweep_threads = options_.backup_sweep_threads;
   return TakeBackupWithOptions(backup_name, job_options);
 }
@@ -376,6 +378,7 @@ Result<BackupManifest> Database::TakeIncrementalBackup(
   job_options.parallel_partitions = options_.parallel_backup;
   job_options.batch_pages = options_.backup_batch_pages;
   job_options.pipelined = options_.backup_pipelined;
+  job_options.queue_depth = options_.io_queue_depth;
   job_options.sweep_threads = options_.backup_sweep_threads;
   job_options.pool = &sweep_pool_;
 

@@ -62,6 +62,14 @@ struct DbOptions {
   /// (see InstantRestoreOptions::batch_pages). Irrelevant outside
   /// OpenRestoring.
   uint32_t restore_batch_pages = 32;
+  /// Deep-queue asynchronous IO for every bulk transfer this database
+  /// drives — backup sweeps, instant-restore seeding and installs (see
+  /// TransferOptions::queue_depth): up to this many run IOs stay in
+  /// flight per worker through Env::OpenAsync (io_uring where the
+  /// kernel grants it, the portable thread pool elsewhere). <= 1 keeps
+  /// the synchronous paths byte-for-byte. Only effective where the
+  /// matching batch_pages knob is > 1.
+  uint32_t io_queue_depth = 0;
   /// Open as a warm standby: mutating entry points (Execute, flushes,
   /// checkpoints, backups) are refused, reads bypass the cache, and the
   /// log is fed by a StandbyApplier replaying shipped segments. The role

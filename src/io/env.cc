@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cstring>
 
+#include "io/sweep_pool.h"
+#include "io/uring_env.h"
+
 namespace llb {
+
+namespace {
+/// Thread cap for an env's shared fallback pool: beyond this, extra
+/// queue depth just queues inside the pool instead of adding threads.
+constexpr uint32_t kMaxFallbackAsyncThreads = 16;
+}  // namespace
 
 File::~File() = default;
 
@@ -32,6 +41,26 @@ Status File::WriteAtv(uint64_t offset, const std::vector<Slice>& chunks) {
 }
 FaultInjector::~FaultInjector() = default;
 Env::~Env() = default;
+
+Result<std::shared_ptr<AsyncFile>> Env::OpenAsync(const std::string& name,
+                                                  bool create,
+                                                  const AsyncIoOptions& options) {
+  uint32_t depth = std::max<uint32_t>(1, options.queue_depth);
+  LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file, OpenFile(name, create));
+  return {NewThreadPoolAsyncFile(std::move(file), depth,
+                                 FallbackAsyncPool(depth))};
+}
+
+std::shared_ptr<SweepThreadPool> Env::FallbackAsyncPool(uint32_t queue_depth) {
+  std::lock_guard<std::mutex> lock(async_pool_mu_);
+  if (async_pool_ == nullptr) {
+    async_pool_ = std::make_shared<SweepThreadPool>();
+  }
+  async_pool_->Grow(
+      std::min<uint32_t>(std::max<uint32_t>(1, queue_depth),
+                         kMaxFallbackAsyncThreads));
+  return async_pool_;
+}
 
 Status Env::RenameFile(const std::string& src, const std::string& dst) {
   LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> from,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,16 @@
 #include "common/status.h"
 
 namespace llb {
+
+class AsyncFile;
+class SweepThreadPool;
+
+/// Knobs for Env::OpenAsync (the async deep-queue IO backend; see
+/// io/uring_env.h for the AsyncFile contract).
+struct AsyncIoOptions {
+  /// Maximum operations in flight (submitted and not yet reaped).
+  uint32_t queue_depth = 8;
+};
 
 /// A caller-owned destination buffer for vectored reads.
 struct IoBuffer {
@@ -126,8 +137,30 @@ class Env {
   /// environments with a native atomic rename override it.
   virtual Status RenameFile(const std::string& src, const std::string& dst);
 
+  /// Opens `name` for asynchronous deep-queue IO: up to
+  /// options.queue_depth reads/writes in flight at once, submitted and
+  /// reaped in batches (io/uring_env.h documents the AsyncFile
+  /// contract). This is the capability probe of the async backend — the
+  /// base implementation wraps OpenFile in a portable submission-queue
+  /// thread pool (one SweepThreadPool shared by all of this env's async
+  /// files), so every Env is async-capable; PosixEnv overrides it with a
+  /// native io_uring when the kernel grants one. Both backends have
+  /// byte-identical semantics.
+  virtual Result<std::shared_ptr<AsyncFile>> OpenAsync(
+      const std::string& name, bool create,
+      const AsyncIoOptions& options = AsyncIoOptions());
+
  protected:
   Env() = default;
+
+  /// The lazily-created pool backing the default OpenAsync fallback,
+  /// shared across all async files of this env so queue depth does not
+  /// multiply into unbounded threads.
+  std::shared_ptr<SweepThreadPool> FallbackAsyncPool(uint32_t queue_depth);
+
+ private:
+  std::mutex async_pool_mu_;
+  std::shared_ptr<SweepThreadPool> async_pool_;
 };
 
 }  // namespace llb

@@ -1,5 +1,7 @@
 #include "io/posix_env.h"
 
+#include "io/uring_env.h"
+
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -188,6 +190,13 @@ class PosixFile : public File {
     size_ = size;
     return Status::OK();
   }
+
+  // Raw descriptors and the size-advance hook, for the io_uring async
+  // backend, which writes past the File interface and must keep the
+  // cached size honest (Size() drives PageStore::PageCount).
+  int fd() const { return fd_; }
+  int direct_fd() const { return direct_fd_; }
+  void NoteExtent(uint64_t end) { NoteSize(end); }
 
  private:
   static Result<size_t> PreadFull(int fd, void* buffer, size_t n,
@@ -379,6 +388,25 @@ Result<std::shared_ptr<File>> PosixEnv::OpenFile(const std::string& name,
                                           static_cast<uint64_t>(st.st_size));
   files_[name] = file;
   return std::shared_ptr<File>(file);
+}
+
+Result<std::shared_ptr<AsyncFile>> PosixEnv::OpenAsync(
+    const std::string& name, bool create, const AsyncIoOptions& options) {
+  if (options_.use_io_uring && UringAvailable()) {
+    LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file, OpenFile(name, create));
+    // Same translation unit: every File this env hands out is a PosixFile.
+    auto* posix = static_cast<PosixFile*>(file.get());
+    Result<std::shared_ptr<AsyncFile>> ring = NewUringAsyncFile(
+        posix->fd(), posix->direct_fd(),
+        std::max<uint32_t>(1, options.queue_depth),
+        [file](uint64_t end) {
+          static_cast<PosixFile*>(file.get())->NoteExtent(end);
+        },
+        [file] { return file->Sync(); });
+    if (ring.ok()) return ring;
+    // Ring refused (exotic kernel config): portable fallback below.
+  }
+  return Env::OpenAsync(name, create, options);
 }
 
 Status PosixEnv::DeleteFile(const std::string& name) {

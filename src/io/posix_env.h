@@ -38,6 +38,11 @@ struct PosixEnvOptions {
   /// flushing file metadata timestamps — the right default for page
   /// stores and logs, where only data and size matter.
   bool use_fdatasync = true;
+  /// Back OpenAsync with a native io_uring when the kernel grants one
+  /// (UringAvailable probes once; containers often refuse via seccomp).
+  /// When false — or when the probe fails — OpenAsync falls back to the
+  /// portable thread-pool backend, same semantics.
+  bool use_io_uring = true;
 };
 
 class PosixEnv : public Env {
@@ -59,6 +64,12 @@ class PosixEnv : public Env {
 
   /// Native ::rename — atomic within the root directory.
   Status RenameFile(const std::string& src, const std::string& dst) override;
+
+  /// io_uring over the file's raw fd when options().use_io_uring and the
+  /// kernel cooperates; otherwise defers to the base thread-pool backend.
+  Result<std::shared_ptr<AsyncFile>> OpenAsync(
+      const std::string& name, bool create,
+      const AsyncIoOptions& options = AsyncIoOptions()) override;
 
   const std::string& root() const { return root_; }
   const Options& options() const { return options_; }

@@ -129,8 +129,140 @@ Status TransferPipeline::WriteRun(const TransferRun& run,
   return Status::OK();
 }
 
+Status TransferPipeline::ExecuteWindowAsync(
+    PageStore::AsyncRunReader* reader, PageStore::AsyncRunWriter* writer,
+    const std::vector<TransferRun>& window, uint64_t* pages_moved) {
+  if (window.empty()) return Status::OK();
+
+  // Read phase: every run of the window in flight at once, one reap.
+  // Retried as a unit by the io_wrapper — reads are idempotent and
+  // ReapAll always drains the queue, so a retry starts clean.
+  std::vector<std::vector<PageImage>> images(window.size());
+  auto read_window = [&]() -> Status {
+    auto started = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < window.size(); ++i) {
+      LLB_RETURN_IF_ERROR(reader->SubmitRead(
+          window[i].partition, window[i].first_page, window[i].count, i));
+    }
+    std::vector<PageStore::AsyncRunResult> results;
+    Status reaped = reader->ReapAll(&results);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.read_batches += window.size();
+      stats_.read_stage_us += ElapsedUs(started);
+    }
+    LLB_RETURN_IF_ERROR(reaped);
+    for (PageStore::AsyncRunResult& result : results) {
+      LLB_RETURN_IF_ERROR(result.status);
+      images[result.tag] = std::move(result.images);
+    }
+    return Status::OK();
+  };
+  LLB_RETURN_IF_ERROR(CallIo(read_window));
+
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (options_.transform) {
+      LLB_RETURN_IF_ERROR(options_.transform(window[i], &images[i]));
+    }
+  }
+
+  // Write phase: the whole window in flight, one durability barrier per
+  // touched partition. Also retried as a unit — rewriting the same
+  // sealed bytes to the same slots is idempotent.
+  auto write_window = [&]() -> Status {
+    auto started = std::chrono::steady_clock::now();
+    std::vector<PageStore::SealedRunWrite> writes;
+    writes.reserve(window.size());
+    for (size_t i = 0; i < window.size(); ++i) {
+      writes.push_back(PageStore::SealedRunWrite{
+          window[i].partition, window[i].first_page, &images[i], i});
+    }
+    std::vector<PageStore::AsyncRunResult> results;
+    Status window_status = writer->WriteWindow(writes, &results);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.write_batches += window.size();
+      stats_.write_stage_us += ElapsedUs(started);
+    }
+    LLB_RETURN_IF_ERROR(window_status);
+    for (const PageStore::AsyncRunResult& result : results) {
+      LLB_RETURN_IF_ERROR(result.status);
+    }
+    return Status::OK();
+  };
+  LLB_RETURN_IF_ERROR(CallIo(write_window));
+
+  // Durable: count pages and fire after_run in plan order.
+  for (size_t i = 0; i < window.size(); ++i) {
+    *pages_moved += images[i].size();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.pages_moved += images[i].size();
+    }
+    if (options_.after_run) {
+      LLB_RETURN_IF_ERROR(options_.after_run(window[i], images[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status TransferPipeline::ExecuteRunsAsync(const TransferRun* runs,
+                                          size_t count,
+                                          uint64_t* pages_moved) {
+  const uint32_t depth = options_.queue_depth;
+  std::unique_ptr<PageStore::AsyncRunReader> reader =
+      source_->NewAsyncReader(depth);
+  std::unique_ptr<PageStore::AsyncRunWriter> writer =
+      dest_->NewAsyncWriter(depth);
+
+  std::vector<TransferRun> window;
+  window.reserve(depth);
+  for (size_t i = 0; i < count; ++i) {
+    if (options_.pause && options_.pause()) {
+      return ExecuteWindowAsync(reader.get(), writer.get(), window,
+                                pages_moved);
+    }
+    if (!options_.skip) {
+      window.push_back(runs[i]);
+    } else {
+      // Re-evaluate the skip predicate just before the run moves,
+      // splitting it into maximal sub-runs of still-wanted pages (same
+      // contract as the synchronous hooked path).
+      uint64_t skipped = 0;
+      size_t first_sub = window.size();
+      for (uint32_t k = 0; k < runs[i].count; ++k) {
+        const uint32_t page = runs[i].first_page + k;
+        if (options_.skip(PageId{runs[i].partition, page})) {
+          ++skipped;
+          continue;
+        }
+        if (window.size() > first_sub &&
+            window.back().first_page + window.back().count == page) {
+          ++window.back().count;
+        } else {
+          window.push_back(TransferRun{runs[i].partition, page, 1});
+        }
+      }
+      if (skipped != 0) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.pages_skipped += skipped;
+      }
+    }
+    while (window.size() >= depth) {
+      std::vector<TransferRun> full(window.begin(), window.begin() + depth);
+      window.erase(window.begin(), window.begin() + depth);
+      LLB_RETURN_IF_ERROR(
+          ExecuteWindowAsync(reader.get(), writer.get(), full, pages_moved));
+    }
+  }
+  return ExecuteWindowAsync(reader.get(), writer.get(), window, pages_moved);
+}
+
 Status TransferPipeline::ExecuteRuns(const TransferRun* runs, size_t count,
                                      uint64_t* pages_moved) {
+  if (options_.queue_depth > 1 && options_.batch_pages > 1) {
+    return ExecuteRunsAsync(runs, count, pages_moved);
+  }
   if (!options_.skip && !options_.pause) {
     return ExecuteRunsRaw(runs, count, pages_moved);
   }

@@ -91,6 +91,16 @@ struct TransferOptions {
   /// may be read ahead (the backup sweep passes one step's Doubt window
   /// at a time).
   bool pipelined = false;
+  /// Deep-queue asynchronous IO (only effective with batch_pages > 1,
+  /// where it supersedes `pipelined`): each worker moves windows of up
+  /// to queue_depth runs with every read, then every write, in flight
+  /// at once through PageStore's async reader/writer (Env::OpenAsync —
+  /// io_uring on capable kernels, the portable thread pool elsewhere).
+  /// Replaces the 1-deep prefetch with an N-deep device queue; like
+  /// prefetch, a window never reaches past the plan handed in, so the
+  /// read-ahead bound callers rely on is unchanged. <= 1 keeps the
+  /// synchronous path byte-for-byte.
+  uint32_t queue_depth = 0;
   /// Pool for prefetch tasks and RunParallel workers. Not owned. When
   /// null, prefetch falls back to std::async and RunParallel to
   /// transient std::threads — both counted in threads_spawned.
@@ -179,6 +189,17 @@ class TransferPipeline {
                      uint64_t* pages_moved);
   Status ExecuteRunsRaw(const TransferRun* runs, size_t count,
                         uint64_t* pages_moved);
+  /// Deep-queue path (queue_depth > 1): windows of runs move with all
+  /// reads, then all writes, in flight at once. Applies the skip/pause
+  /// hooks itself — pause is consulted between runs during window
+  /// assembly, so a window never out-runs a pause by more than the IOs
+  /// already submitted.
+  Status ExecuteRunsAsync(const TransferRun* runs, size_t count,
+                          uint64_t* pages_moved);
+  Status ExecuteWindowAsync(PageStore::AsyncRunReader* reader,
+                            PageStore::AsyncRunWriter* writer,
+                            const std::vector<TransferRun>& window,
+                            uint64_t* pages_moved);
   Status ExecutePerPage(const TransferRun& run, uint64_t* pages_moved);
   Status WriteRun(const TransferRun& run, std::vector<PageImage>* images,
                   uint64_t* pages_moved);

@@ -237,6 +237,7 @@ Status InstantRestorer::RestoreClosureLocked(const std::vector<PageId>& seeds,
     seed_plan.AddPages(claims[i], options_.batch_pages);
     TransferOptions seed_opts;
     seed_opts.batch_pages = options_.batch_pages;
+    seed_opts.queue_depth = options_.queue_depth;
     TransferPipeline pipeline(carriers_[i].get(), scratch.get(), seed_opts);
     LLB_RETURN_IF_ERROR(pipeline.Run(seed_plan, nullptr));
   }
@@ -295,6 +296,7 @@ Status InstantRestorer::RestoreClosureLocked(const std::vector<PageId>& seeds,
   install_plan.AddPages(to_install, options_.batch_pages);
   TransferOptions install_opts;
   install_opts.batch_pages = options_.batch_pages;
+  install_opts.queue_depth = options_.queue_depth;
   install_opts.pause = pause;
   install_opts.after_run = [this, installed](
                                const TransferRun& run,

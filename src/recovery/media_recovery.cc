@@ -132,6 +132,7 @@ Result<MediaRecoveryReport> RestoreFromBackupWithOptions(
     TransferOptions transfer;
     transfer.batch_pages = options.batch_pages;
     transfer.pipelined = options.pipelined;
+    transfer.queue_depth = options.queue_depth;
     transfer.workers = options.threads;
     TransferPipeline pipeline(store.get(), stable.get(), transfer);
     uint64_t moved = 0;

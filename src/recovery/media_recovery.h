@@ -101,6 +101,11 @@ struct RestoreOptions {
   /// Double-buffered prefetch: read run N+1 from B while run N drains
   /// into S (only effective with batch_pages > 1).
   bool pipelined = false;
+  /// Deep-queue asynchronous IO (only effective with batch_pages > 1,
+  /// superseding `pipelined`): each restore worker keeps up to
+  /// queue_depth run IOs in flight via Env::OpenAsync. <= 1 keeps the
+  /// synchronous path.
+  uint32_t queue_depth = 0;
   /// Concurrent restore workers; partitions are sharded across them
   /// exactly like the parallel backup sweep (each partition's pages stay
   /// on one worker). 1 = serial. RTO scales with workers the way

@@ -1,5 +1,7 @@
 #include "storage/page_store.h"
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 
@@ -167,6 +169,232 @@ Status PageStore::WriteSealedRun(PartitionId partition, uint32_t first_page,
   LLB_RETURN_IF_ERROR(
       file->WriteAtv(uint64_t{first_page} * kPageSize, chunks));
   return file->Sync();
+}
+
+PageStore::AsyncRunReader::AsyncRunReader(const PageStore* store,
+                                          uint32_t queue_depth)
+    : store_(store), depth_(std::max<uint32_t>(1, queue_depth)) {
+  channels_.resize(store_->num_partitions_);
+}
+
+PageStore::AsyncRunReader::~AsyncRunReader() {
+  // Channel destructors drain any still-in-flight reads (the kernel may
+  // hold our buffers); results are discarded.
+  std::vector<AsyncRunResult> discard;
+  if (!pending_.empty()) ReapAll(&discard);
+}
+
+Result<AsyncFile*> PageStore::AsyncRunReader::Channel(PartitionId partition) {
+  if (channels_[partition] == nullptr) {
+    AsyncIoOptions options;
+    options.queue_depth = depth_;
+    LLB_ASSIGN_OR_RETURN(
+        channels_[partition],
+        store_->env_->OpenAsync(
+            store_->prefix_ + ".p" + std::to_string(partition),
+            /*create=*/false, options));
+  }
+  return channels_[partition].get();
+}
+
+const char* PageStore::AsyncRunReader::backend() const {
+  for (const std::shared_ptr<AsyncFile>& channel : channels_) {
+    if (channel != nullptr) return channel->backend();
+  }
+  return "none";
+}
+
+Status PageStore::AsyncRunReader::SubmitRead(PartitionId partition,
+                                             uint32_t first_page,
+                                             uint32_t count, uint64_t tag) {
+  if (partition >= store_->num_partitions_) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  if (count == 0) return Status::InvalidArgument("empty run read");
+  if (pending_.size() >= depth_) {
+    return Status::FailedPrecondition("async reader full: reap first");
+  }
+  LLB_ASSIGN_OR_RETURN(AsyncFile * channel, Channel(partition));
+  const uint64_t op = next_op_++;
+  PendingRead& read = pending_[op];
+  read.partition = partition;
+  read.first_page = first_page;
+  read.count = count;
+  read.tag = tag;
+  read.buffer = MakeAlignedIoString(uint64_t{count} * kPageSize);
+  Status s = channel->SubmitReadAt(uint64_t{first_page} * kPageSize,
+                                   IoBuffer{read.buffer.data,
+                                            read.buffer.size},
+                                   op);
+  if (!s.ok()) pending_.erase(op);
+  return s;
+}
+
+Status PageStore::AsyncRunReader::ReapAll(std::vector<AsyncRunResult>* out) {
+  std::vector<AsyncIoCompletion> completions;
+  for (const std::shared_ptr<AsyncFile>& channel : channels_) {
+    if (channel == nullptr) continue;
+    size_t in_flight = channel->in_flight();
+    if (in_flight == 0) continue;
+    LLB_RETURN_IF_ERROR(channel->Reap(in_flight, &completions));
+  }
+  for (AsyncIoCompletion& completion : completions) {
+    auto it = pending_.find(completion.tag);
+    if (it == pending_.end()) continue;  // cannot happen; be defensive
+    PendingRead& read = it->second;
+    AsyncRunResult result;
+    result.tag = read.tag;
+    if (!completion.status.ok()) {
+      // Device error: propagate as-is. No sync retry here — scripted
+      // fault injection means this sweep must abort, not self-heal.
+      result.status = std::move(completion.status);
+    } else {
+      result.images.reserve(read.count);
+      Status verify;
+      for (uint32_t i = 0; i < read.count && verify.ok(); ++i) {
+        result.images.push_back(PageImage::FromRaw(
+            std::string(read.buffer.data + uint64_t{i} * kPageSize,
+                        kPageSize)));
+        verify = result.images.back().VerifyChecksum();
+      }
+      if (!verify.ok()) {
+        // A checksum failure on an optimistic unlatched read is usually a
+        // torn read (a writer was mid-run). One latched synchronous
+        // re-read settles it: success means torn, failure means the
+        // corruption is really on the media.
+        result.images.clear();
+        result.status = store_->ReadRun(read.partition, read.first_page,
+                                        read.count, &result.images);
+      }
+    }
+    out->push_back(std::move(result));
+    pending_.erase(it);
+  }
+  return Status::OK();
+}
+
+PageStore::AsyncRunWriter::AsyncRunWriter(PageStore* store,
+                                          uint32_t queue_depth)
+    : store_(store), depth_(std::max<uint32_t>(1, queue_depth)) {
+  channels_.resize(store_->num_partitions_);
+}
+
+PageStore::AsyncRunWriter::~AsyncRunWriter() = default;
+
+Result<AsyncFile*> PageStore::AsyncRunWriter::Channel(PartitionId partition) {
+  if (channels_[partition] == nullptr) {
+    AsyncIoOptions options;
+    options.queue_depth = depth_;
+    LLB_ASSIGN_OR_RETURN(
+        channels_[partition],
+        store_->env_->OpenAsync(
+            store_->prefix_ + ".p" + std::to_string(partition),
+            /*create=*/false, options));
+  }
+  return channels_[partition].get();
+}
+
+const char* PageStore::AsyncRunWriter::backend() const {
+  for (const std::shared_ptr<AsyncFile>& channel : channels_) {
+    if (channel != nullptr) return channel->backend();
+  }
+  return "none";
+}
+
+Status PageStore::AsyncRunWriter::WriteWindow(
+    const std::vector<SealedRunWrite>& runs,
+    std::vector<AsyncRunResult>* results) {
+  if (runs.empty()) return Status::OK();
+  std::vector<PartitionId> touched;
+  for (const SealedRunWrite& run : runs) {
+    if (run.partition >= store_->num_partitions_) {
+      return Status::InvalidArgument("partition out of range");
+    }
+    if (run.images == nullptr || run.images->empty()) {
+      return Status::InvalidArgument("empty run write");
+    }
+    touched.push_back(run.partition);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  // Latch every partition of the window, ascending — the whole window is
+  // one critical section per partition, so readers never see a torn page
+  // and concurrent writers (always a disjoint or identically-ordered
+  // partition set) cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> latches;
+  latches.reserve(touched.size());
+  for (PartitionId partition : touched) {
+    latches.emplace_back(store_->PartitionMutex(partition));
+  }
+
+  // Submit all writes: each run's sealed images gather into one aligned
+  // buffer (O_DIRECT-ready) and ride the deep queue.
+  std::vector<AlignedIoString> gathers(runs.size());
+  std::map<uint64_t, size_t> op_to_run;
+  std::vector<Status> statuses(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SealedRunWrite& run = runs[i];
+    LLB_ASSIGN_OR_RETURN(AsyncFile * channel, Channel(run.partition));
+    gathers[i] = MakeAlignedIoString(run.images->size() * kPageSize);
+    char* at = gathers[i].data;
+    for (const PageImage& image : *run.images) {
+      std::memcpy(at, image.raw().data(), kPageSize);
+      at += kPageSize;
+    }
+    Status submitted = channel->SubmitWriteAt(
+        uint64_t{run.first_page} * kPageSize,
+        Slice(gathers[i].data, gathers[i].size), i);
+    if (!submitted.ok() && submitted.IsFailedPrecondition()) {
+      // Channel momentarily full (window larger than one channel's
+      // queue): absorb a round of completions and retry once.
+      std::vector<AsyncIoCompletion> completions;
+      LLB_RETURN_IF_ERROR(channel->Reap(1, &completions));
+      for (AsyncIoCompletion& completion : completions) {
+        statuses[completion.tag] = std::move(completion.status);
+      }
+      submitted = channel->SubmitWriteAt(
+          uint64_t{run.first_page} * kPageSize,
+          Slice(gathers[i].data, gathers[i].size), i);
+    }
+    LLB_RETURN_IF_ERROR(submitted);
+  }
+
+  // Reap everything, then one durability barrier per touched partition.
+  Status window;
+  for (PartitionId partition : touched) {
+    AsyncFile* channel = channels_[partition].get();
+    if (channel == nullptr) continue;
+    size_t in_flight = channel->in_flight();
+    if (in_flight > 0) {
+      std::vector<AsyncIoCompletion> completions;
+      LLB_RETURN_IF_ERROR(channel->Reap(in_flight, &completions));
+      for (AsyncIoCompletion& completion : completions) {
+        statuses[completion.tag] = std::move(completion.status);
+      }
+    }
+    Status synced = channel->Sync();
+    if (window.ok() && !synced.ok()) window = synced;
+  }
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AsyncRunResult result;
+    result.tag = runs[i].tag;
+    result.status = std::move(statuses[i]);
+    results->push_back(std::move(result));
+  }
+  return window;
+}
+
+std::unique_ptr<PageStore::AsyncRunReader> PageStore::NewAsyncReader(
+    uint32_t queue_depth) const {
+  return std::unique_ptr<AsyncRunReader>(
+      new AsyncRunReader(this, queue_depth));
+}
+
+std::unique_ptr<PageStore::AsyncRunWriter> PageStore::NewAsyncWriter(
+    uint32_t queue_depth) {
+  return std::unique_ptr<AsyncRunWriter>(
+      new AsyncRunWriter(this, queue_depth));
 }
 
 Status PageStore::WriteBatchAtomic(const std::vector<Entry>& entries) {

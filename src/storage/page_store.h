@@ -2,6 +2,7 @@
 #define LLB_STORAGE_PAGE_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "io/env.h"
+#include "io/uring_env.h"
 #include "storage/page.h"
 
 namespace llb {
@@ -82,6 +84,121 @@ class PageStore {
   /// Atomically (w.r.t. crash) writes all entries. Order of persistence is
   /// all-or-nothing even across partitions.
   Status WriteBatchAtomic(const std::vector<Entry>& entries);
+
+  /// One finished asynchronous run. Reads carry the checksum-verified
+  /// images; write results leave `images` empty.
+  struct AsyncRunResult {
+    uint64_t tag = 0;
+    Status status;
+    std::vector<PageImage> images;
+  };
+
+  /// Deep-queue read half of the bulk mover: up to queue_depth run reads
+  /// in flight at once (across partitions), each an optimistic unlatched
+  /// vectored read through the env's async backend (Env::OpenAsync — an
+  /// io_uring on capable kernels, the portable thread pool elsewhere).
+  /// Checksums are verified at reap; a failure there is re-read once
+  /// under the partition latch with the synchronous ReadRun, which
+  /// separates a torn optimistic read (the retry succeeds — a writer was
+  /// mid-run) from real media corruption (the retry fails too, and that
+  /// error is what propagates).
+  ///
+  /// Not thread-safe: each sweep worker owns its own reader.
+  class AsyncRunReader {
+   public:
+    ~AsyncRunReader();
+
+    AsyncRunReader(const AsyncRunReader&) = delete;
+    AsyncRunReader& operator=(const AsyncRunReader&) = delete;
+
+    /// Enqueues a read of `count` pages [first_page, first_page + count)
+    /// of one partition. Fails (without enqueueing) when queue_depth
+    /// reads are already in flight — reap first.
+    Status SubmitRead(PartitionId partition, uint32_t first_page,
+                      uint32_t count, uint64_t tag);
+
+    /// Blocks until every submitted read finishes and appends one result
+    /// per read, in completion order — match by tag. Per-run errors live
+    /// in the results; the returned Status covers the reap machinery.
+    Status ReapAll(std::vector<AsyncRunResult>* out);
+
+    size_t in_flight() const { return pending_.size(); }
+    uint32_t queue_depth() const { return depth_; }
+    /// Backend of the first open channel ("io_uring" / "thread-pool"),
+    /// "none" before the first submit.
+    const char* backend() const;
+
+   private:
+    friend class PageStore;
+
+    struct PendingRead {
+      PartitionId partition = 0;
+      uint32_t first_page = 0;
+      uint32_t count = 0;
+      uint64_t tag = 0;
+      AlignedIoString buffer;
+    };
+
+    AsyncRunReader(const PageStore* store, uint32_t queue_depth);
+    Result<AsyncFile*> Channel(PartitionId partition);
+
+    const PageStore* const store_;
+    const uint32_t depth_;
+    std::vector<std::shared_ptr<AsyncFile>> channels_;  // per partition
+    std::map<uint64_t, PendingRead> pending_;           // by internal op id
+    uint64_t next_op_ = 0;
+  };
+
+  /// One run of already-sealed images for AsyncRunWriter::WriteWindow.
+  /// `images` stays caller-owned and must outlive the call.
+  struct SealedRunWrite {
+    PartitionId partition = 0;
+    uint32_t first_page = 0;
+    const std::vector<PageImage>* images = nullptr;
+    uint64_t tag = 0;
+  };
+
+  /// Deep-queue write half: moves a window of sealed runs with up to
+  /// queue_depth writes in flight, then one durability barrier per
+  /// touched partition (N writes : 1 sync, like WriteSealedRun's batch
+  /// economics but across runs). The window latches every partition it
+  /// touches for its whole duration — acquired in ascending partition
+  /// order, so concurrent writers cannot deadlock — which preserves the
+  /// no-torn-reads guarantee ReadPage relies on.
+  ///
+  /// Not thread-safe: each sweep worker owns its own writer.
+  class AsyncRunWriter {
+   public:
+    ~AsyncRunWriter();
+
+    AsyncRunWriter(const AsyncRunWriter&) = delete;
+    AsyncRunWriter& operator=(const AsyncRunWriter&) = delete;
+
+    /// Executes one window: submit every run, reap, sync touched
+    /// partitions once each. Appends one result per run; a run is
+    /// durable only when its own status and the returned (sync-covering)
+    /// Status are both OK.
+    Status WriteWindow(const std::vector<SealedRunWrite>& runs,
+                       std::vector<AsyncRunResult>* results);
+
+    uint32_t queue_depth() const { return depth_; }
+    const char* backend() const;
+
+   private:
+    friend class PageStore;
+
+    AsyncRunWriter(PageStore* store, uint32_t queue_depth);
+    Result<AsyncFile*> Channel(PartitionId partition);
+
+    PageStore* const store_;
+    const uint32_t depth_;
+    std::vector<std::shared_ptr<AsyncFile>> channels_;  // per partition
+  };
+
+  /// Creates a deep-queue reader/writer over this store's partitions.
+  /// Channels open lazily on first touch, via env->OpenAsync.
+  std::unique_ptr<AsyncRunReader> NewAsyncReader(uint32_t queue_depth) const;
+  std::unique_ptr<AsyncRunWriter> NewAsyncWriter(uint32_t queue_depth);
 
   /// Number of pages ever written in the partition (file size based).
   Result<uint32_t> PageCount(PartitionId partition) const;

@@ -155,6 +155,7 @@ DbOptions CrashSweeper::MakeDbOptions() const {
   options.backup_steps = scenario_.backup_steps;
   options.backup_batch_pages = scenario_.batch_pages;
   options.backup_pipelined = scenario_.pipelined;
+  options.io_queue_depth = scenario_.queue_depth;
   options.backup_sweep_threads = scenario_.sweep_threads;
   if (scenario_.kind == ScenarioKind::kInstantRestore) {
     // Small background steps so the sweep and the faulting workload
@@ -187,6 +188,7 @@ RestoreOptions RestoreOptionsForScenario(const ScenarioOptions& s) {
   if (s.kind == ScenarioKind::kParallelRestore) {
     options.batch_pages = std::max<uint32_t>(2, s.batch_pages);
     options.pipelined = s.pipelined;
+    options.queue_depth = s.queue_depth;
     options.threads = std::max<uint32_t>(2, s.sweep_threads);
   } else {
     options.batch_pages = 1;
@@ -396,6 +398,7 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       job.steps = scenario_.backup_steps;
       job.batch_pages = scenario_.batch_pages;
       job.pipelined = scenario_.pipelined;
+      job.queue_depth = scenario_.queue_depth;
       job.mid_step = [&](PartitionId, uint32_t) {
         return workload->Update(scenario_.updates_mid);
       };
@@ -454,6 +457,7 @@ Status CrashSweeper::RunScenario(TortureEngine* e) const {
       job.steps = scenario_.backup_steps;
       job.batch_pages = scenario_.batch_pages;
       job.pipelined = scenario_.pipelined;
+      job.queue_depth = scenario_.queue_depth;
       job.sweep_threads = std::max<uint32_t>(2, scenario_.sweep_threads);
       job.mid_step = [&](PartitionId partition, uint32_t) {
         if (partition != 0) return Status::OK();

@@ -116,6 +116,12 @@ struct ScenarioOptions {
   /// sweep so their durability-event sequences stay stable.
   uint32_t batch_pages = 1;
   bool pipelined = false;
+  /// Deep-queue asynchronous IO for the scenario's bulk transfers (see
+  /// TransferOptions::queue_depth; only effective with batch_pages > 1).
+  /// Crash scheduling is unaffected: durability events stay on the
+  /// driver thread in the same count, which is what the sweeper's
+  /// countdown injectors key on. 0 keeps the synchronous path.
+  uint32_t queue_depth = 0;
   /// Concurrent sweep workers (kParallelBackup / kParallelRestore need
   /// >= 2 and >= 2 partitions; other scenarios keep the serial default so
   /// their durability-event sequences stay stable). kParallelRestore also

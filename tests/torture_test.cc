@@ -79,9 +79,12 @@ TEST(CrashSweepTest, BatchedBackupScenarioAllPoints) {
       SmallScenario(ScenarioKind::kBatchedBackup, WriteGraphKind::kGeneral);
   // 32 pages / 4 steps = 8-page steps; batch 4 gives two buffered run
   // writes per step, so crashes land between the batch writes of one
-  // step as well as on fence-advance and cursor events.
+  // step as well as on fence-advance and cursor events. queue_depth
+  // routes the batched runs through the async deep-queue backend; the
+  // durability-event count must stay deterministic regardless.
   scenario.batch_pages = 4;
   scenario.pipelined = true;
+  scenario.queue_depth = 4;
   CrashSweeper sweeper(scenario);
   ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
   EXPECT_GT(report.total_events, 0u);
@@ -95,6 +98,7 @@ TEST(NestedCrashTest, CrashDuringRecoveryAfterBatchedBackupCrash) {
       SmallScenario(ScenarioKind::kBatchedBackup, WriteGraphKind::kTree);
   scenario.batch_pages = 4;
   scenario.pipelined = true;
+  scenario.queue_depth = 4;
   SweepOptions options;
   options.max_points = 4;
   options.nested_primary_points = 3;
@@ -136,12 +140,14 @@ TEST(CrashSweepTest, ParallelRestoreScenarioAllPoints) {
   ScenarioOptions scenario =
       SmallScenario(ScenarioKind::kParallelRestore, WriteGraphKind::kGeneral);
   // Two partitions so the restore workers actually shard; multi-page
-  // batched runs with prefetch. Crash points inside the wipe/restore
-  // window must take the marker path and re-run the *parallel* restore.
+  // batched runs with prefetch over the async deep-queue backend. Crash
+  // points inside the wipe/restore window must take the marker path and
+  // re-run the *parallel* restore.
   scenario.partitions = 2;
   scenario.sweep_threads = 2;
   scenario.batch_pages = 8;
   scenario.pipelined = true;
+  scenario.queue_depth = 4;
   CrashSweeper sweeper(scenario);
   ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
   EXPECT_GT(report.total_events, 0u);

@@ -5,9 +5,16 @@ tools/benchrunner.
 Two layers of checks:
 
   1. Invariants (always): the current file's derived batched-sweep
-     speedup must meet --min-speedup (default 1.5x) — batching K >= 16
-     pages has to beat the legacy per-page sweep by that factor on *this*
-     machine — its derived parallel-sweep speedup at 4 workers must
+     speedup must meet --min-speedup (default 1.0x) — batching K >= 16
+     pages must not lose to the legacy per-page sweep on *this*
+     machine. The floor was 1.5x under software CRC32C; hardware CRC32C
+     dispatch cut the per-page checksum cost that dominated the legacy
+     sweep, so on MemEnv the batching win is now mostly latch
+     amortisation, small (~1.1-1.2x) and noisy (both sides are
+     memcpy-speed, so the ratio is also excluded from the baseline
+     band, like ship_keepup_ratio). The gate still catches batching
+     becoming a pessimisation. Its derived parallel-sweep speedup at 4
+     workers must
      meet --min-parallel-speedup (default 2.0x) under the LatencyEnv HDD
      profile (bench_x7_parallel_sweep; EXPERIMENTS.md X7), and its
      derived restore speedup at 4 workers must meet
@@ -20,7 +27,20 @@ Two layers of checks:
      invariant-gated only. The derived instant-restore TTFT speedup
      (single-worker offline restore TTFT over restoring-mode open TTFT)
      must meet --min-ttft-speedup (default 10.0x) on the same profile
-     (bench_x10_instant_restore; EXPERIMENTS.md X10).
+     (bench_x10_instant_restore; EXPERIMENTS.md X10). The derived async
+     deep-queue speedups (qd8 over qd1 throughput on LatencyEnv(Nvme),
+     bench_x11_async_io; EXPERIMENTS.md X11) must meet
+     --min-async-speedup (default 2.0x) for both the sweep and the
+     restore direction.
+
+     With --profile posix the default invariants are replaced by the
+     real-file checks: speedup_posix_qd8 and speedup_posix_restore_qd8
+     (qd8 over qd1 on actual files through PosixEnv or the io_uring Env)
+     must meet --min-posix-speedup (default 0.9x). The floor is
+     deliberately loose: on a fast local filesystem the page cache
+     absorbs most of the latency a deep queue would hide, so the win is
+     small — the gate only catches the async path being *slower* than
+     sync, i.e. a dispatch or batching bug, not a missed optimisation.
 
   2. Baseline comparison (with --baseline): derived metrics are
      throughput *ratios* measured on one machine, so they transfer across
@@ -52,12 +72,19 @@ def load(path):
 
 
 def ratio_metrics(derived):
-    """Derived keys that are hardware-portable ratios."""
+    """Derived keys that are hardware-portable ratios.
+
+    The batched-sweep family (speedup_batch*, batched_speedup_best) is
+    deliberately NOT in the baseline band: since hardware CRC32C both
+    sides of that ratio are memcpy-speed on MemEnv and its run-to-run
+    noise on shared runners exceeds 15%. It stays gated by the
+    --min-speedup invariant floor only, like ship_keepup_ratio.
+    """
     return {
         k: v for k, v in derived.items()
         if isinstance(v, (int, float)) and
-        (k.startswith("speedup_") or k in ("batched_speedup_best",
-                                           "latch_reduction_k16",
+        not k.startswith("speedup_batch") and
+        (k.startswith("speedup_") or k in ("latch_reduction_k16",
                                            "ttft_speedup"))
     }
 
@@ -68,8 +95,13 @@ def main():
     parser.add_argument("--baseline", default=None)
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional regression vs baseline")
-    parser.add_argument("--min-speedup", type=float, default=1.5,
-                        help="required batched-vs-legacy sweep speedup")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required batched-vs-legacy sweep speedup "
+                             "(hardware CRC32C shrank the per-page CPU "
+                             "cost the batch amortises, so the MemEnv "
+                             "ratio is structurally small and noisy; "
+                             "this floor catches batching turning into "
+                             "a pessimisation)")
     parser.add_argument("--min-parallel-speedup", type=float, default=2.0,
                         help="required 4-worker parallel sweep speedup "
                              "under the simulated-HDD profile")
@@ -90,6 +122,23 @@ def main():
                              "offline restore under the simulated-HDD "
                              "profile (bench_x10_instant_restore; "
                              "EXPERIMENTS.md X10)")
+    parser.add_argument("--min-async-speedup", type=float, default=2.0,
+                        help="required qd8-vs-qd1 async deep-queue "
+                             "speedup (sweep and restore) under the "
+                             "simulated-NVMe profile "
+                             "(bench_x11_async_io; EXPERIMENTS.md X11)")
+    parser.add_argument("--min-posix-speedup", type=float, default=0.9,
+                        help="required qd8-vs-qd1 speedup over real "
+                             "files (--profile posix); a loose floor — "
+                             "the page cache hides most device latency "
+                             "locally, so this catches the async path "
+                             "being slower than sync, not a missed win")
+    parser.add_argument("--profile", choices=("default", "posix"),
+                        default="default",
+                        help="which invariant set to apply: the "
+                             "simulated-device suite (default) or the "
+                             "real-file posix suite from "
+                             "`benchrunner --posix`")
     parser.add_argument("--absolute", action="store_true",
                         help="also compare absolute bytes_per_second "
                              "(same-hardware baselines only)")
@@ -97,6 +146,30 @@ def main():
 
     current = load(args.current)
     failures = []
+
+    if args.profile == "posix":
+        for key, what in (("speedup_posix_qd8", "real-file sweep"),
+                          ("speedup_posix_restore_qd8",
+                           "real-file restore")):
+            value = current.get("derived", {}).get(key)
+            if value is None:
+                failures.append("current file has no %s "
+                                "(did bench_x11_async_io BM_Posix run?)"
+                                % key)
+            elif value < args.min_posix_speedup:
+                failures.append(
+                    "%s qd8 speedup %.3fx < required %.2fx "
+                    "(async backend slower than sync over real files)" %
+                    (what, value, args.min_posix_speedup))
+            else:
+                print("bench_check: %s qd8 speedup %.3fx (>= %.2fx)" %
+                      (what, value, args.min_posix_speedup))
+        if failures:
+            for failure in failures:
+                print("bench_check: FAIL: %s" % failure, file=sys.stderr)
+            return 1
+        print("bench_check: all checks passed")
+        return 0
 
     speedup = current.get("derived", {}).get("batched_speedup_best")
     if speedup is None:
@@ -158,6 +231,20 @@ def main():
     else:
         print("bench_check: instant-restore TTFT speedup %.3fx (>= %.2fx)" %
               (ttft, args.min_ttft_speedup))
+
+    for key, what in (("speedup_async_qd8", "async sweep"),
+                      ("speedup_async_restore_qd8", "async restore")):
+        value = current.get("derived", {}).get(key)
+        if value is None:
+            failures.append("current file has no %s "
+                            "(did bench_x11_async_io run?)" % key)
+        elif value < args.min_async_speedup:
+            failures.append(
+                "%s qd8 speedup %.3fx < required %.2fx" %
+                (what, value, args.min_async_speedup))
+        else:
+            print("bench_check: %s qd8 speedup %.3fx (>= %.2fx)" %
+                  (what, value, args.min_async_speedup))
 
     if args.baseline:
         baseline = load(args.baseline)
