@@ -141,8 +141,16 @@ Status TransferPipeline::ExecuteWindowAsync(
   auto read_window = [&]() -> Status {
     auto started = std::chrono::steady_clock::now();
     for (size_t i = 0; i < window.size(); ++i) {
-      LLB_RETURN_IF_ERROR(reader->SubmitRead(
-          window[i].partition, window[i].first_page, window[i].count, i));
+      Status submitted = reader->SubmitRead(
+          window[i].partition, window[i].first_page, window[i].count, i);
+      if (!submitted.ok()) {
+        // Earlier reads of this window may already be in flight: drain
+        // them (results discarded) so the retry genuinely starts with an
+        // empty queue instead of hitting "async reader full".
+        std::vector<PageStore::AsyncRunResult> discard;
+        reader->ReapAll(&discard);
+        return submitted;
+      }
     }
     std::vector<PageStore::AsyncRunResult> results;
     Status reaped = reader->ReapAll(&results);

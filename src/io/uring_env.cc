@@ -353,9 +353,16 @@ class UringAsyncFile : public AsyncFile {
 
     ++pending_;
     int rc = SysUringEnter(ring_fd_, 1, 0, 0);
-    if (rc < 0) {
-      // The sqe never reached the kernel: surface the failure as this
-      // op's completion, keeping the error-on-Reap contract.
+    if (rc < 0 &&
+        __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE) != tail + 1) {
+      // enter failed before the kernel consumed the sqe (the kernel only
+      // consumes SQEs inside io_uring_enter, and sq_head has not passed
+      // ours). Unpublish it by restoring the tail — safe, mu_ is held so
+      // we are the only producer — then surface the failure as this op's
+      // completion, keeping the error-on-Reap contract. Leaving the sqe
+      // published would let the next successful enter submit it after
+      // the slot (and its buffer) had been recycled.
+      __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
       --pending_;
       free_slots_.push_back(slot);
       completed_.push_back(AsyncIoCompletion{

@@ -329,50 +329,79 @@ Status PageStore::AsyncRunWriter::WriteWindow(
   }
 
   // Submit all writes: each run's sealed images gather into one aligned
-  // buffer (O_DIRECT-ready) and ride the deep queue.
+  // buffer (O_DIRECT-ready) and ride the deep queue. Every failure exit
+  // between the first submit and the last reap goes through
+  // drain_for_error below — in-flight ops reference `gathers`, so none
+  // may outlive this frame.
   std::vector<AlignedIoString> gathers(runs.size());
-  std::map<uint64_t, size_t> op_to_run;
   std::vector<Status> statuses(runs.size());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const SealedRunWrite& run = runs[i];
-    LLB_ASSIGN_OR_RETURN(AsyncFile * channel, Channel(run.partition));
-    gathers[i] = MakeAlignedIoString(run.images->size() * kPageSize);
-    char* at = gathers[i].data;
-    for (const PageImage& image : *run.images) {
-      std::memcpy(at, image.raw().data(), kPageSize);
-      at += kPageSize;
-    }
-    Status submitted = channel->SubmitWriteAt(
-        uint64_t{run.first_page} * kPageSize,
-        Slice(gathers[i].data, gathers[i].size), i);
-    if (!submitted.ok() && submitted.IsFailedPrecondition()) {
-      // Channel momentarily full (window larger than one channel's
-      // queue): absorb a round of completions and retry once.
-      std::vector<AsyncIoCompletion> completions;
-      LLB_RETURN_IF_ERROR(channel->Reap(1, &completions));
-      for (AsyncIoCompletion& completion : completions) {
-        statuses[completion.tag] = std::move(completion.status);
+  auto submit_and_reap = [&]() -> Status {
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const SealedRunWrite& run = runs[i];
+      LLB_ASSIGN_OR_RETURN(AsyncFile * channel, Channel(run.partition));
+      gathers[i] = MakeAlignedIoString(run.images->size() * kPageSize);
+      char* at = gathers[i].data;
+      for (const PageImage& image : *run.images) {
+        std::memcpy(at, image.raw().data(), kPageSize);
+        at += kPageSize;
       }
-      submitted = channel->SubmitWriteAt(
+      Status submitted = channel->SubmitWriteAt(
           uint64_t{run.first_page} * kPageSize,
           Slice(gathers[i].data, gathers[i].size), i);
+      if (!submitted.ok() && submitted.IsFailedPrecondition()) {
+        // Channel momentarily full (window larger than one channel's
+        // queue): absorb a round of completions and retry once.
+        std::vector<AsyncIoCompletion> completions;
+        LLB_RETURN_IF_ERROR(channel->Reap(1, &completions));
+        for (AsyncIoCompletion& completion : completions) {
+          statuses[completion.tag] = std::move(completion.status);
+        }
+        submitted = channel->SubmitWriteAt(
+            uint64_t{run.first_page} * kPageSize,
+            Slice(gathers[i].data, gathers[i].size), i);
+      }
+      LLB_RETURN_IF_ERROR(submitted);
     }
-    LLB_RETURN_IF_ERROR(submitted);
-  }
-
-  // Reap everything, then one durability barrier per touched partition.
-  Status window;
-  for (PartitionId partition : touched) {
-    AsyncFile* channel = channels_[partition].get();
-    if (channel == nullptr) continue;
-    size_t in_flight = channel->in_flight();
-    if (in_flight > 0) {
+    for (PartitionId partition : touched) {
+      AsyncFile* channel = channels_[partition].get();
+      if (channel == nullptr) continue;
+      size_t in_flight = channel->in_flight();
+      if (in_flight == 0) continue;
       std::vector<AsyncIoCompletion> completions;
       LLB_RETURN_IF_ERROR(channel->Reap(in_flight, &completions));
       for (AsyncIoCompletion& completion : completions) {
         statuses[completion.tag] = std::move(completion.status);
       }
     }
+    return Status::OK();
+  };
+  Status window = submit_and_reap();
+  if (!window.ok()) {
+    // Drain every touched channel (discarding results) while the latches
+    // are still held, so no op can reference `gathers` after we return.
+    // If a channel cannot be drained (backend enter failure), its ops may
+    // still DMA into the buffers, so leak that storage rather than free
+    // it under an in-flight write.
+    for (PartitionId partition : touched) {
+      AsyncFile* channel = channels_[partition].get();
+      if (channel == nullptr) continue;
+      while (channel->in_flight() > 0) {
+        std::vector<AsyncIoCompletion> discard;
+        if (!channel->Reap(channel->in_flight(), &discard).ok()) {
+          for (AlignedIoString& gather : gathers) {
+            new std::string(std::move(gather.storage));  // intentional leak
+          }
+          return window;
+        }
+      }
+    }
+    return window;
+  }
+
+  // Queues are empty: one durability barrier per touched partition.
+  for (PartitionId partition : touched) {
+    AsyncFile* channel = channels_[partition].get();
+    if (channel == nullptr) continue;
     Status synced = channel->Sync();
     if (window.ok() && !synced.ok()) window = synced;
   }

@@ -144,9 +144,13 @@ class PageStore {
 
     const PageStore* const store_;
     const uint32_t depth_;
-    std::vector<std::shared_ptr<AsyncFile>> channels_;  // per partition
+    // pending_ owns the read buffers and is declared before channels_ on
+    // purpose: members destroy in reverse order, so the channels (whose
+    // destructors drain in-flight reads that DMA into those buffers) go
+    // away first.
     std::map<uint64_t, PendingRead> pending_;           // by internal op id
     uint64_t next_op_ = 0;
+    std::vector<std::shared_ptr<AsyncFile>> channels_;  // per partition
   };
 
   /// One run of already-sealed images for AsyncRunWriter::WriteWindow.
