@@ -12,15 +12,34 @@
 //                   before the next operation starts.
 //   offline       — updates stop entirely while the backup runs; measured
 //                   as backup duration (throughput during it is zero).
+//
+// Experiment X12 rides in the same binary: BM_UpdatersDuringBackup runs
+// 1/4/16 updater threads against a continuously-active backup over a
+// device-shaped log (LatencyEnv, SSD profile), with the WAL in legacy
+// single-channel mode (channels:1) vs epoch-based group commit
+// (channels:4). In legacy mode every Iw/oF flush decision pays an
+// inline log force (seek + sync) under the cache mutex, so concurrent
+// updaters serialize behind one device; with per-thread channels the
+// install's durability wait rides the epoch watermark outside the
+// cache mutex and one group-commit sync covers every waiter.
+// tools/benchrunner derives updates_during_backup_ops_per_s and
+// updater_scaling_t4 = ops(t4, c4) / ops(t4, c1), which
+// tools/bench_check.py gates >= 2x (EXPERIMENTS.md X12).
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "btree/btree.h"
+#include "filestore/filestore.h"
+#include "io/latency_env.h"
+#include "io/mem_env.h"
 #include "sim/harness.h"
 
 namespace llb {
@@ -162,6 +181,139 @@ void BM_BackupDuration_Online(benchmark::State& state) {
   state.counters["pages"] = kPages;
 }
 BENCHMARK(BM_BackupDuration_Online)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// X12: multi-threaded updaters during backup, legacy force vs group commit.
+
+constexpr uint32_t kUpdaterPartitions = 16;  // one per updater at t=16
+constexpr uint32_t kFilesPerPartition = 64;  // > cache: every write faults
+constexpr uint32_t kOpsPerThread = 64;       // ops per thread per iteration
+
+/// A database over LatencyEnv(MemEnv): TestEngine hardcodes a bare
+/// MemEnv, so the device-shaped engine is wired by hand (same sequence
+/// as bench_x7's DeviceEngine).
+struct UpdaterEngine {
+  MemEnv base;
+  LatencyEnv env;
+  std::unique_ptr<Database> db;
+  std::vector<std::unique_ptr<FileStore>> files;
+
+  explicit UpdaterEngine(const LatencyProfile& profile)
+      : env(&base, profile) {}
+};
+
+std::unique_ptr<UpdaterEngine> NewUpdaterEngine(uint32_t channels) {
+  DbOptions options;
+  options.partitions = kUpdaterPartitions;
+  options.pages_per_partition = kFilesPerPartition;
+  // Smaller than one partition's file set: the round-robin updater
+  // faults on every write and keeps evicting dirty pages, so the
+  // measured path is the Iw/oF install under an active backup, not a
+  // cache hit.
+  options.cache_pages = 48;
+  options.graph = WriteGraphKind::kGeneral;
+  options.backup_policy = BackupPolicy::kGeneral;
+  options.backup_steps = 8;
+  options.log_channels = channels;
+
+  auto engine = std::make_unique<UpdaterEngine>(LatencyProfile::Ssd());
+  // Seed through the zero-latency base env, then reopen over the
+  // latency wrapper of the same MemEnv for the measured runs.
+  engine->db = CheckResult(Database::Open(&engine->base, "x12", options),
+                           "open");
+  RegisterAllOps(engine->db->registry());
+  Check(engine->db->Recover(), "recover");
+  for (uint32_t p = 0; p < kUpdaterPartitions; ++p) {
+    engine->files.push_back(std::make_unique<FileStore>(
+        engine->db.get(), p, /*base_page=*/0, /*pages_per_file=*/1,
+        /*num_files=*/kFilesPerPartition));
+    for (uint32_t f = 0; f < kFilesPerPartition; ++f) {
+      Check(engine->files[p]->WriteValues(
+                f, {static_cast<int64_t>(p) * 1000 + f, 1}),
+            "seed");
+    }
+  }
+  Check(engine->db->FlushAll(), "flush");
+  Check(engine->db->Checkpoint(), "checkpoint");
+  engine->files.clear();
+  engine->db.reset();
+
+  engine->db = CheckResult(Database::Open(&engine->env, "x12", options),
+                           "reopen");
+  RegisterAllOps(engine->db->registry());
+  Check(engine->db->Recover(), "recover");
+  for (uint32_t p = 0; p < kUpdaterPartitions; ++p) {
+    engine->files.push_back(std::make_unique<FileStore>(
+        engine->db.get(), p, /*base_page=*/0, /*pages_per_file=*/1,
+        /*num_files=*/kFilesPerPartition));
+  }
+  return engine;
+}
+
+void BM_UpdatersDuringBackup(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const uint32_t channels = static_cast<uint32_t>(state.range(1));
+  std::unique_ptr<UpdaterEngine> engine = NewUpdaterEngine(channels);
+
+  // Continuous backups on their own thread: a backup is always active,
+  // so every dirty eviction is an Iw/oF flush decision.
+  std::atomic<bool> stop{false};
+  std::thread backup_thread([&]() {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status s =
+          engine->db->TakeBackup("bk" + std::to_string(round++)).status();
+      if (!s.ok()) break;
+    }
+  });
+
+  uint64_t total_ops = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        // Each updater owns one partition: threads contend on the
+        // cache, the log, and the backup latch — not on page data.
+        uint64_t key = total_ops + t;
+        for (uint32_t i = 0; i < kOpsPerThread; ++i) {
+          uint32_t f = static_cast<uint32_t>(
+              (key + i) * 2654435761u % kFilesPerPartition);
+          Check(engine->files[t]->WriteValues(
+                    f, {static_cast<int64_t>(key + i), 1}),
+                "update");
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    total_ops += static_cast<uint64_t>(threads) * kOpsPerThread;
+  }
+  stop.store(true);
+  backup_thread.join();
+  state.SetItemsProcessed(static_cast<int64_t>(total_ops));
+
+  DbStats stats = engine->db->GatherStats();
+  state.counters["iwof_per_1k_ops"] =
+      total_ops == 0 ? 0.0
+                     : 1000.0 *
+                           static_cast<double>(stats.cache.identity_writes) /
+                           static_cast<double>(total_ops);
+  state.counters["group_commits"] =
+      static_cast<double>(stats.log.group_commits);
+  state.counters["overlapped_installs"] =
+      static_cast<double>(stats.cache.overlapped_installs);
+  state.counters["log_forces"] = static_cast<double>(stats.log.forces);
+}
+BENCHMARK(BM_UpdatersDuringBackup)
+    ->ArgNames({"threads", "channels"})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace llb

@@ -32,7 +32,8 @@ void CacheManager::SetPageFaultHandler(
   page_fault_handler_ = std::move(handler);
 }
 
-Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
+Status CacheManager::GetFrame(std::unique_lock<std::mutex>& lk,
+                              const PageId& id, Frame** frame) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
@@ -47,7 +48,7 @@ Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
   if (page_fault_handler_) {
     LLB_RETURN_IF_ERROR(page_fault_handler_(id));
   }
-  LLB_RETURN_IF_ERROR(EnsureRoom());
+  LLB_RETURN_IF_ERROR(EnsureRoom(lk));
   Frame f;
   LLB_RETURN_IF_ERROR(stable_->ReadPage(id, &f.image));
   lru_.push_front(id);
@@ -57,33 +58,70 @@ Status CacheManager::GetFrame(const PageId& id, Frame** frame) {
   return Status::OK();
 }
 
-Status CacheManager::EnsureRoom() {
+Status CacheManager::EnsureRoom(std::unique_lock<std::mutex>& lk) {
+  if (!Overlapped()) {
+    while (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
+      // Prefer the least-recently-used clean page.
+      PageId victim = kInvalidPageId;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (!frames_[*it].dirty) {
+          victim = *it;
+          break;
+        }
+      }
+      if (victim == kInvalidPageId) {
+        // All dirty: install the coldest page's node, then evict it.
+        victim = lru_.back();
+        LLB_RETURN_IF_ERROR(FlushPageLocked(lk, victim));
+      }
+      auto it = frames_.find(victim);
+      lru_.erase(it->second.lru_pos);
+      frames_.erase(it);
+      ++stats_.evictions;
+    }
+    return Status::OK();
+  }
+
+  // Overlapped mode: flushing a dirty victim can release the mutex, so
+  // every round re-derives its facts, pinned frames are skipped, and a
+  // fully-pinned cache tolerates a transient overrun instead of
+  // deadlocking.
   while (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
-    // Prefer the least-recently-used clean page.
     PageId victim = kInvalidPageId;
+    bool victim_dirty = false;
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!frames_[*it].dirty) {
+      Frame& f = frames_[*it];
+      if (f.pins > 0) continue;
+      if (!f.dirty) {
         victim = *it;
+        victim_dirty = false;
         break;
       }
+      if (victim == kInvalidPageId) {
+        victim = *it;  // coldest unpinned page as the dirty fallback
+        victim_dirty = true;
+      }
     }
-    if (victim == kInvalidPageId) {
-      // All dirty: install the coldest page's node, then evict it.
-      victim = lru_.back();
-      LLB_RETURN_IF_ERROR(FlushPageLocked(victim));
+    if (victim == kInvalidPageId) return Status::OK();  // everything pinned
+    if (victim_dirty) {
+      if (in_apply_) return Status::OK();  // never release mu_ mid-apply
+      LLB_RETURN_IF_ERROR(FlushPageLocked(lk, victim));
+      continue;  // the cache changed while unlocked: re-derive everything
     }
     auto it = frames_.find(victim);
-    lru_.erase(it->second.lru_pos);
-    frames_.erase(it);
-    ++stats_.evictions;
+    if (it != frames_.end() && !it->second.dirty && it->second.pins == 0) {
+      lru_.erase(it->second.lru_pos);
+      frames_.erase(it);
+      ++stats_.evictions;
+    }
   }
   return Status::OK();
 }
 
 Status CacheManager::ReadPage(const PageId& id, PageImage* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   Frame* frame = nullptr;
-  LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
+  LLB_RETURN_IF_ERROR(GetFrame(lock, id, &frame));
   *out = frame->image;
   return Status::OK();
 }
@@ -92,7 +130,8 @@ Status CacheManager::ReadPage(const PageId& id, PageImage* out) {
 /// staged and committed only if the whole operation succeeds.
 class CacheManager::CacheOpContext : public OpContext {
  public:
-  explicit CacheOpContext(CacheManager* cm) : cm_(cm) {}
+  CacheOpContext(CacheManager* cm, std::unique_lock<std::mutex>* lk)
+      : cm_(cm), lk_(lk) {}
 
   Status Read(const PageId& id, PageImage* out) override {
     auto sit = staged_.find(id);
@@ -101,7 +140,7 @@ class CacheManager::CacheOpContext : public OpContext {
       return Status::OK();
     }
     Frame* frame = nullptr;
-    LLB_RETURN_IF_ERROR(cm_->GetFrame(id, &frame));
+    LLB_RETURN_IF_ERROR(cm_->GetFrame(*lk_, id, &frame));
     *out = frame->image;
     return Status::OK();
   }
@@ -117,11 +156,12 @@ class CacheManager::CacheOpContext : public OpContext {
 
  private:
   CacheManager* const cm_;
+  std::unique_lock<std::mutex>* const lk_;
   std::unordered_map<PageId, PageImage, PageIdHash> staged_;
 };
 
 Status CacheManager::ExecuteOp(LogRecord* rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
 
   // Enforce the single-partition rule (paper 3.4 tracks backup progress
   // per partition; we preclude cross-partition operations so that flush
@@ -143,15 +183,66 @@ Status CacheManager::ExecuteOp(LogRecord* rec) {
     return Status::InvalidArgument("operation writes nothing");
   }
 
-  CacheOpContext ctx(this);
-  LLB_RETURN_IF_ERROR(registry_->Apply(ctx, *rec));
+  const bool overlapped = Overlapped();
+  std::vector<PageId> pinned;
+  auto unpin = [&] {
+    for (const PageId& id : pinned) {
+      auto it = frames_.find(id);
+      if (it != frames_.end() && it->second.pins > 0) --it->second.pins;
+    }
+    pinned.clear();
+  };
+
+  if (overlapped) {
+    // Pre-fault and pin the declared pages so apply never misses with
+    // the mutex released (faulting can evict, and overlapped eviction
+    // unlocks mu_ — which would break the op's linearizability). Then
+    // wait until no writeset page is part of an in-flight install: its
+    // image is the frozen snapshot being written to S.
+    for (;;) {
+      for (const std::vector<PageId>* set : {&rec->readset, &rec->writeset}) {
+        for (const PageId& id : *set) {
+          Frame* frame = nullptr;
+          Status s = GetFrame(lock, id, &frame);
+          if (!s.ok()) {
+            unpin();
+            return s;
+          }
+          ++frame->pins;
+          pinned.push_back(id);
+        }
+      }
+      bool conflict = false;
+      for (const PageId& id : rec->writeset) {
+        if (installing_pages_.count(id) != 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) break;
+      unpin();
+      ++stats_.install_waits;
+      install_cv_.wait(lock);
+    }
+  }
+
+  CacheOpContext ctx(this, &lock);
+  in_apply_ = overlapped;
+  Status applied = registry_->Apply(ctx, *rec);
+  in_apply_ = false;
+  if (!applied.ok()) {
+    unpin();
+    return applied;
+  }
 
   // Every writeset member must have been staged; no extras allowed.
   if (ctx.staged().size() != rec->writeset.size()) {
+    unpin();
     return Status::Internal("apply wrote a different page set than declared");
   }
   for (const PageId& id : rec->writeset) {
     if (!ctx.staged().count(id)) {
+      unpin();
       return Status::Internal("apply missed declared target " + id.ToString());
     }
   }
@@ -161,10 +252,11 @@ Status CacheManager::ExecuteOp(LogRecord* rec) {
   // not, and a concurrent Force could seal the record durably before the
   // page's restore/bit became durable — after a crash the fault path
   // would then overwrite the redone value with the backup state.
-  if (page_fault_handler_) {
+  // (Overlapped mode pre-faulted the whole writeset above.)
+  if (page_fault_handler_ && !overlapped) {
     for (const PageId& id : rec->writeset) {
       Frame* frame = nullptr;
-      LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
+      LLB_RETURN_IF_ERROR(GetFrame(lock, id, &frame));
     }
   }
 
@@ -172,13 +264,18 @@ Status CacheManager::ExecuteOp(LogRecord* rec) {
 
   for (auto& [id, image] : ctx.staged()) {
     Frame* frame = nullptr;
-    LLB_RETURN_IF_ERROR(GetFrame(id, &frame));
+    Status s = GetFrame(lock, id, &frame);
+    if (!s.ok()) {
+      unpin();
+      return s;
+    }
     frame->image = image;
     frame->image.set_lsn(lsn);
     frame->dirty = true;
   }
   graph_->OnOperation(*rec);
   ++stats_.ops_applied;
+  unpin();
   return Status::OK();
 }
 
@@ -260,7 +357,8 @@ void CacheManager::DecideBackupLogging(const InstallUnit& unit,
   }
 }
 
-Status CacheManager::InstallUnitLocked(const InstallUnit& unit) {
+Status CacheManager::InstallUnitLocked(std::unique_lock<std::mutex>& lk,
+                                       const InstallUnit& unit) {
   if (unit.vars.empty()) {
     graph_->MarkInstalled(unit.node_id);
     return Status::OK();
@@ -290,7 +388,7 @@ Status CacheManager::InstallUnitLocked(const InstallUnit& unit) {
   // sweep (paper 3.2).
   for (const PageId& x : to_log) {
     Frame* frame = nullptr;
-    LLB_RETURN_IF_ERROR(GetFrame(x, &frame));
+    LLB_RETURN_IF_ERROR(GetFrame(lk, x, &frame));
     LogRecord wip = MakeIdentityWrite(x, frame->image);
     Lsn lsn = log_->Append(&wip);
     graph_->OnIdentityWrite(x, lsn);
@@ -308,7 +406,7 @@ Status CacheManager::InstallUnitLocked(const InstallUnit& unit) {
   batch.reserve(unit.vars.size());
   for (const PageId& x : unit.vars) {
     Frame* frame = nullptr;
-    LLB_RETURN_IF_ERROR(GetFrame(x, &frame));
+    LLB_RETURN_IF_ERROR(GetFrame(lk, x, &frame));
     batch.push_back(PageStore::Entry{x, frame->image});
   }
   LLB_RETURN_IF_ERROR(stable_->WriteBatchAtomic(batch));
@@ -324,30 +422,214 @@ Status CacheManager::InstallUnitLocked(const InstallUnit& unit) {
   return Status::OK();
 }
 
-Status CacheManager::FlushPageLocked(const PageId& x) {
-  if (!graph_->IsTracked(x)) {
-    auto it = frames_.find(x);
-    if (it != frames_.end() && it->second.dirty) {
-      return Status::Internal("dirty page not tracked by write graph: " +
-                              x.ToString());
-    }
-    return Status::OK();
-  }
-  std::vector<InstallUnit> plan;
-  LLB_RETURN_IF_ERROR(graph_->PlanInstall(x, &plan));
+Status CacheManager::InstallPlanOverlapped(
+    std::unique_lock<std::mutex>& lk, const std::vector<InstallUnit>& plan) {
+  PartitionId partition = 0;
+  bool have_partition = false;
   for (const InstallUnit& unit : plan) {
-    LLB_RETURN_IF_ERROR(InstallUnitLocked(unit));
+    for (const PageId& x : unit.vars) {
+      if (!have_partition) {
+        partition = x.partition;
+        have_partition = true;
+      } else if (x.partition != partition) {
+        return Status::Internal("install plan spans partitions");
+      }
+    }
   }
+
+  BackupProgress* progress = (coordinator_ != nullptr && have_partition)
+                                 ? coordinator_->Get(partition)
+                                 : nullptr;
+
+  // The backup latch (share mode) is held from the Iw/oF decision until
+  // the images land on S — phases 1 and 2 — so the fences cannot move in
+  // between and the Done/Doubt/Pend classification stays valid at write
+  // time. It is released BEFORE phase 3 retakes the cache mutex: the
+  // protocol obligation ends with the S write, and a latch holder that
+  // waited on the mutex could deadlock three ways with a mutex holder
+  // entering phase 1 behind the backup job's queued exclusive fence
+  // update (writer-preferring rwlock).
+  std::shared_lock<std::shared_mutex> latch;
+  if (progress != nullptr) {
+    latch = std::shared_lock<std::shared_mutex>(progress->latch());
+  }
+
+  struct PendingInstall {
+    uint64_t node_id = 0;
+    std::vector<PageStore::Entry> batch;
+  };
+  std::vector<PendingInstall> pending;
+  pending.reserve(plan.size());
+  Epoch wait_epoch = kInvalidEpoch;
+
+  auto clear_marks = [&] {
+    for (const PendingInstall& pi : pending) {
+      for (const PageStore::Entry& entry : pi.batch) {
+        installing_pages_.erase(entry.id);
+      }
+      installing_nodes_.erase(pi.node_id);
+      graph_->EndInstall(pi.node_id);
+    }
+    install_cv_.notify_all();
+  };
+
+  // Phase 1 (cache mutex held): decide + append Iw records + snapshot the
+  // images to write + mark every unit installing. A planned node's vars
+  // are dirty and therefore resident, so lookups must hit.
+  for (const InstallUnit& unit : plan) {
+    std::vector<PageId> to_log;
+    if (progress != nullptr) DecideBackupLogging(unit, *progress, &to_log);
+
+    for (const PageId& x : to_log) {
+      auto it = frames_.find(x);
+      if (it == frames_.end()) {
+        clear_marks();
+        return Status::Internal("installing page not resident: " +
+                                x.ToString());
+      }
+      ++stats_.hits;
+      Touch(x, it->second);
+      Frame* frame = &it->second;
+      LogRecord wip = MakeIdentityWrite(x, frame->image);
+      Epoch epoch = kInvalidEpoch;
+      Lsn lsn = log_->Append(&wip, &epoch);
+      graph_->OnIdentityWrite(x, lsn);
+      frame->image.set_lsn(lsn);
+      ++stats_.identity_writes;
+      wait_epoch = std::max(wait_epoch, epoch);
+    }
+
+    PendingInstall pi;
+    pi.node_id = unit.node_id;
+    pi.batch.reserve(unit.vars.size());
+    for (const PageId& x : unit.vars) {
+      auto it = frames_.find(x);
+      if (it == frames_.end()) {
+        clear_marks();
+        return Status::Internal("installing page not resident: " +
+                                x.ToString());
+      }
+      ++stats_.hits;
+      Touch(x, it->second);
+      pi.batch.push_back(PageStore::Entry{x, it->second.image});
+    }
+    for (const PageId& x : unit.vars) installing_pages_.insert(x);
+    installing_nodes_.insert(unit.node_id);
+    // Freeze the node's identity in the graph for the unlocked phase 2:
+    // a cycle collapse merging it would make phase 3's MarkInstalled
+    // retire operations whose pages were never part of this snapshot.
+    graph_->BeginInstall(unit.node_id);
+    pending.push_back(std::move(pi));
+  }
+  ++stats_.overlapped_installs;
+
+  // Phase 2 (cache mutex released, backup latch still shared): wait for
+  // the epoch watermark to cover the installed operations and their Iw
+  // records — "the epoch containing the Iw record has been published" is
+  // the commit point — then write the frozen images to S. Concurrent
+  // installers piggyback on one group commit's single sync.
+  lk.unlock();
+  if (wait_epoch == kInvalidEpoch) wait_epoch = log_->CurrentEpoch();
+  Status s = log_->WaitEpochDurable(wait_epoch);
+  if (s.ok()) {
+    for (const PendingInstall& pi : pending) {
+      if (pi.batch.empty()) continue;
+      s = stable_->WriteBatchAtomic(pi.batch);
+      if (!s.ok()) break;
+    }
+  }
+  // The fence obligation ends once the images are on S; phase 3 is pure
+  // in-memory bookkeeping. Drop the latch BEFORE re-taking the cache
+  // mutex: waiting on mu_ while holding the latch shared would deadlock
+  // with a mu_ holder entering phase 1 behind the backup job's queued
+  // exclusive fence update (writer-preferring rwlock).
+  if (latch.owns_lock()) latch.unlock();
+  lk.lock();
+
+  // Phase 3 (cache mutex re-held): mark pages clean and nodes installed,
+  // wake writers and planners that waited on these units.
+  if (!s.ok()) {
+    clear_marks();
+    return s;
+  }
+  for (const PendingInstall& pi : pending) {
+    for (const PageStore::Entry& entry : pi.batch) {
+      auto it = frames_.find(entry.id);
+      if (it != frames_.end()) it->second.dirty = false;
+      if (tracker_ != nullptr) tracker_->OnPageFlushed(entry.id);
+      installing_pages_.erase(entry.id);
+    }
+    graph_->MarkInstalled(pi.node_id);
+    installing_nodes_.erase(pi.node_id);
+    graph_->EndInstall(pi.node_id);
+    ++stats_.node_installs;
+    stats_.pages_flushed += pi.batch.size();
+  }
+  install_cv_.notify_all();
   return Status::OK();
 }
 
+Status CacheManager::FlushPageLocked(std::unique_lock<std::mutex>& lk,
+                                     const PageId& x) {
+  if (!Overlapped()) {
+    if (!graph_->IsTracked(x)) {
+      auto it = frames_.find(x);
+      if (it != frames_.end() && it->second.dirty) {
+        return Status::Internal("dirty page not tracked by write graph: " +
+                                x.ToString());
+      }
+      return Status::OK();
+    }
+    std::vector<InstallUnit> plan;
+    LLB_RETURN_IF_ERROR(graph_->PlanInstall(x, &plan));
+    for (const InstallUnit& unit : plan) {
+      LLB_RETURN_IF_ERROR(InstallUnitLocked(lk, unit));
+    }
+    return Status::OK();
+  }
+
+  // Overlapped mode: a plan touching a node already mid-install waits for
+  // it to finish (its pages come out clean), then re-plans — the graph
+  // may have changed while waiting.
+  for (;;) {
+    if (!graph_->IsTracked(x)) {
+      auto it = frames_.find(x);
+      if (it != frames_.end() && it->second.dirty) {
+        if (installing_pages_.count(x) != 0) {
+          // Mid-install: phase 1 already logged the page's Iw (untracking
+          // it) but phase 3 has not marked the frame clean yet. Wait for
+          // the installer rather than treating the state as corruption.
+          ++stats_.install_waits;
+          install_cv_.wait(lk);
+          continue;
+        }
+        return Status::Internal("dirty page not tracked by write graph: " +
+                                x.ToString());
+      }
+      return Status::OK();
+    }
+    std::vector<InstallUnit> plan;
+    LLB_RETURN_IF_ERROR(graph_->PlanInstall(x, &plan));
+    bool busy = false;
+    for (const InstallUnit& unit : plan) {
+      if (installing_nodes_.count(unit.node_id) != 0) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return InstallPlanOverlapped(lk, plan);
+    ++stats_.install_waits;
+    install_cv_.wait(lk);
+  }
+}
+
 Status CacheManager::FlushPage(const PageId& x) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushPageLocked(x);
+  std::unique_lock<std::mutex> lock(mu_);
+  return FlushPageLocked(lock, x);
 }
 
 Status CacheManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   // Install until no dirty page remains. Installing one page's node can
   // clean several pages, so re-scan each round.
   while (true) {
@@ -359,7 +641,7 @@ Status CacheManager::FlushAll() {
       }
     }
     if (dirty == kInvalidPageId) break;
-    LLB_RETURN_IF_ERROR(FlushPageLocked(dirty));
+    LLB_RETURN_IF_ERROR(FlushPageLocked(lock, dirty));
   }
   return log_->Force();
 }
@@ -383,7 +665,7 @@ Lsn CacheManager::RedoStartLsn() const {
 Status CacheManager::DropCleanPages() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
-    if (!it->second.dirty) {
+    if (!it->second.dirty && it->second.pins == 0) {
       lru_.erase(it->second.lru_pos);
       it = frames_.erase(it);
     } else {

@@ -1,12 +1,14 @@
 #ifndef LLB_CACHE_CACHE_MANAGER_H_
 #define LLB_CACHE_CACHE_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "backup/backup_progress.h"
@@ -50,6 +52,12 @@ struct CacheStats {
   uint64_t node_installs = 0;
   uint64_t pages_flushed = 0;
   uint64_t identity_writes = 0;  // Iw/oF page loggings
+
+  // Overlapped-install path (log channels > 1): installs that released
+  // the cache mutex for their durability wait + stable write, and the
+  // times an operation or flush had to wait for an in-flight install.
+  uint64_t overlapped_installs = 0;
+  uint64_t install_waits = 0;
 
   // Per-object flush decisions while a backup is active (Figure 5's
   // Prob{log} = decisions_logged / decisions).
@@ -152,15 +160,31 @@ class CacheManager {
   struct Frame {
     PageImage image;
     bool dirty = false;
+    uint32_t pins = 0;  // pinned frames are never evicted
     std::list<PageId>::iterator lru_pos;
   };
 
   class CacheOpContext;
 
-  Status GetFrame(const PageId& id, Frame** frame);
-  Status EnsureRoom();
-  Status InstallUnitLocked(const InstallUnit& unit);
-  Status FlushPageLocked(const PageId& x);
+  /// True when the log has >1 channel: installs overlap their durability
+  /// wait and stable write with other operations (the cache mutex is
+  /// released for phase 2). With one channel every path is the classic
+  /// fully-serialized one — byte-identical behavior.
+  bool Overlapped() const { return log_->channels() > 1; }
+
+  Status GetFrame(std::unique_lock<std::mutex>& lk, const PageId& id,
+                  Frame** frame);
+  Status EnsureRoom(std::unique_lock<std::mutex>& lk);
+  Status InstallUnitLocked(std::unique_lock<std::mutex>& lk,
+                           const InstallUnit& unit);
+  Status FlushPageLocked(std::unique_lock<std::mutex>& lk, const PageId& x);
+  /// Overlapped install of a whole plan: phase 1 under the cache mutex
+  /// (decide + Iw appends + image snapshots + mark units installing),
+  /// phase 2 with the mutex released but the partition backup latch still
+  /// held in share mode (epoch-watermark wait + stable writes), phase 3
+  /// re-acquired (mark clean/installed, wake waiters).
+  Status InstallPlanOverlapped(std::unique_lock<std::mutex>& lk,
+                               const std::vector<InstallUnit>& plan);
   void Touch(const PageId& id, Frame& frame);
 
   /// Decides which vars of the unit need Iw/oF logging given backup
@@ -183,6 +207,18 @@ class CacheManager {
   std::unordered_map<PageId, Frame, PageIdHash> frames_;
   std::list<PageId> lru_;  // front = most recent
   CacheStats stats_;
+
+  // Overlapped-install bookkeeping (log channels > 1). While a plan is
+  // in phase 2 its nodes/pages are marked here: writes to a marked page
+  // and installs of a marked node wait on install_cv_ (reads stay
+  // allowed — the installing image is frozen). in_apply_ is set while an
+  // operation's apply function runs so a nested cache miss never
+  // releases the mutex mid-apply (eviction falls back to clean pages or
+  // a transient capacity overrun).
+  std::unordered_set<uint64_t> installing_nodes_;
+  std::unordered_set<PageId, PageIdHash> installing_pages_;
+  std::condition_variable install_cv_;
+  bool in_apply_ = false;
 };
 
 }  // namespace llb

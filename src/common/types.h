@@ -12,6 +12,14 @@ namespace llb {
 using Lsn = uint64_t;
 inline constexpr Lsn kInvalidLsn = 0;
 
+/// Group-commit epoch. Epoch IDs are assigned centrally by the log
+/// manager; a group-commit step seals every log channel's records for
+/// epochs <= E, writes them durably, and publishes `durable_epoch = E`
+/// as the commit point (limestone-style epoch watermark). `kInvalidEpoch`
+/// (0) means "no epoch" / "nothing published yet".
+using Epoch = uint64_t;
+inline constexpr Epoch kInvalidEpoch = 0;
+
 /// Identifies a database partition. Backup progress is tracked per
 /// partition (paper section 3.4), and partitions may be backed up in
 /// parallel.

@@ -70,6 +70,19 @@ struct DbOptions {
   /// the synchronous paths byte-for-byte. Only effective where the
   /// matching batch_pages knob is > 1.
   uint32_t io_queue_depth = 0;
+  /// Number of per-thread WAL append channels (LogManagerOptions::
+  /// channels). 1 keeps the classic single-mutex append path and the
+  /// fully-serialized install path — byte-identical log file and
+  /// behavior. >1 shards appends across channels with epoch-based group
+  /// commit: flush decisions ride a channel and wait on the epoch
+  /// watermark instead of forcing inline, and installs overlap their
+  /// durability wait + stable write with concurrent updaters.
+  uint32_t log_channels = 1;
+  /// With log_channels > 1: when >0, a background advancer group-commits
+  /// every interval and waiters block on the watermark; 0 means the
+  /// first durability waiter leads the commit and concurrent waiters
+  /// piggyback on its single sync.
+  uint32_t group_commit_interval_us = 0;
   /// Open as a warm standby: mutating entry points (Execute, flushes,
   /// checkpoints, backups) are refused, reads bypass the cache, and the
   /// log is fed by a StandbyApplier replaying shipped segments. The role

@@ -20,6 +20,11 @@ struct DbStats {
   uint64_t backup_pages_copied = 0;
   uint64_t backup_fence_updates = 0;
 
+  // WAL channel/epoch status (group commit; see LogManagerOptions).
+  uint32_t log_channels = 1;
+  Epoch durable_epoch = kInvalidEpoch;
+  Epoch open_epoch = kInvalidEpoch;
+
   /// Fraction of object flushes during active backup that required Iw/oF
   /// logging — the paper's Prob{log} (section 5).
   double ExtraLoggingProbability() const {

@@ -149,6 +149,23 @@ void GeneralWriteGraph::CollapseCycles() {
   }
 
   for (const std::vector<uint64_t>& component : components) {
+    // A component containing a mid-install node cannot merge yet: the
+    // installer holds a frozen snapshot of that node's vars and will
+    // MarkInstalled exactly those ops. Defer; EndInstall retries. Until
+    // then planners that touch the component busy-wait on the installing
+    // node (it is strongly connected, hence on every member's pred path),
+    // and once it retires the cycle through it dissolves.
+    bool blocked = false;
+    for (uint64_t id : component) {
+      if (installing_.count(id) != 0) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      deferred_collapse_ = true;
+      continue;
+    }
     uint64_t canon = component[0];
     for (size_t i = 1; i < component.size(); ++i) {
       canon = Merge(canon, component[i]);
@@ -294,6 +311,18 @@ void GeneralWriteGraph::MarkInstalled(uint64_t node_id) {
   stats_.installs += 1;
   stats_.flushed_pages += node.vars.size();
   nodes_.erase(it);
+}
+
+void GeneralWriteGraph::BeginInstall(uint64_t node_id) {
+  installing_.insert(node_id);
+}
+
+void GeneralWriteGraph::EndInstall(uint64_t node_id) {
+  installing_.erase(node_id);
+  if (deferred_collapse_) {
+    deferred_collapse_ = false;
+    CollapseCycles();  // re-sets the flag if a component is still blocked
+  }
 }
 
 bool GeneralWriteGraph::IsTracked(const PageId& x) const {

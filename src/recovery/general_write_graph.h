@@ -39,6 +39,8 @@ class GeneralWriteGraph : public WriteGraph {
   void OnIdentityWrite(const PageId& x, Lsn lsn) override;
   Status PlanInstall(const PageId& x, std::vector<InstallUnit>* plan) override;
   void MarkInstalled(uint64_t node_id) override;
+  void BeginInstall(uint64_t node_id) override;
+  void EndInstall(uint64_t node_id) override;
   bool IsTracked(const PageId& x) const override;
   Lsn RedoStartLsn(Lsn next_lsn) const override;
   WriteGraphStats GetStats() const override;
@@ -82,6 +84,12 @@ class GeneralWriteGraph : public WriteGraph {
   std::unordered_map<PageId, uint64_t, PageIdHash> owner_;
   std::unordered_map<PageId, std::unordered_set<uint64_t>, PageIdHash>
       readers_;
+  /// Nodes bracketed by BeginInstall/EndInstall. CollapseCycles leaves any
+  /// SCC containing one of these alone (deferred_collapse_) and retries on
+  /// EndInstall; mid-install nodes never change identity, so their ids
+  /// stay canonical for the duration.
+  std::unordered_set<uint64_t> installing_;
+  bool deferred_collapse_ = false;
   uint64_t next_id_ = 1;
   WriteGraphStats stats_;
 };

@@ -71,6 +71,16 @@ class WriteGraph {
   /// emptied by identity writes). Releases all bookkeeping for it.
   virtual void MarkInstalled(uint64_t node_id) = 0;
 
+  /// Brackets an overlapped install of `node_id` (cache mutex released
+  /// between snapshot and flush). While a node is mid-install the graph
+  /// must not merge it with other nodes: the installer flushes a frozen
+  /// snapshot of exactly that node's vars, and MarkInstalled afterwards
+  /// must retire exactly those operations — a merge would make it erase
+  /// ops whose pages were never flushed. Graphs that never merge nodes
+  /// can ignore these. Always paired, including on install failure.
+  virtual void BeginInstall(uint64_t /*node_id*/) {}
+  virtual void EndInstall(uint64_t /*node_id*/) {}
+
   /// True if x belongs to some uninstalled node.
   virtual bool IsTracked(const PageId& x) const = 0;
 

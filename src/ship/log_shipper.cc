@@ -54,22 +54,51 @@ Status LogShipper::Attach() {
     stats_.last_shipped_lsn = cursor_lsn_;
   }
 
+  // Install the observer FIRST, atomically learning the durable LSN at
+  // the moment of installation: every seal <= `durable` happened before
+  // the observer existed (the catch-up scan below covers it), every seal
+  // after fires the observer. A Force() concurrent with Attach is safe —
+  // no seal can land in the gap between scan and install, because there
+  // is no such gap anymore.
+  //
+  // Lock order is log mutex -> shipper mutex (the observer runs under the
+  // log mutex and takes the shipper mutex), so the observer must be
+  // installed while NOT holding the shipper mutex.
+  Lsn durable = log_->InstallSealObserver([this](const SealedSegment& segment) {
+    std::lock_guard<std::mutex> inner(mu_);
+    ++stats_.segments_sealed;
+    ShipFrame frame;
+    frame.seq = next_seq_++;
+    frame.first_lsn = segment.first_lsn;
+    frame.last_lsn = segment.last_lsn;
+    frame.bytes = segment.bytes;
+    outbox_.push_back(std::move(frame));
+  });
+
   // Catch up: records sealed while no shipper was attached (or re-sealed
   // ground lost to a crash before the cursor advanced). Scanned outside
-  // the shipper mutex; the log scan reads a durable snapshot.
-  Lsn durable = log_->durable_lsn();
+  // the shipper mutex; the log scan reads a durable snapshot. Concurrent
+  // seals enqueue frames meanwhile — all strictly above `durable`, so the
+  // ranges never overlap.
   std::string catchup;
   Lsn catchup_first = kInvalidLsn;
   Lsn catchup_last = kInvalidLsn;
   Lsn resume_from = cursor_lsn_ + 1;
+  Status scanned = Status::OK();
   if (durable >= resume_from) {
-    LLB_RETURN_IF_ERROR(log_->Scan(resume_from, [&](const LogRecord& rec) {
+    scanned = log_->Scan(resume_from, [&](const LogRecord& rec) {
       if (rec.lsn > durable) return Status::OK();
       if (catchup_first == kInvalidLsn) catchup_first = rec.lsn;
       catchup_last = rec.lsn;
       rec.EncodeTo(&catchup);
       return Status::OK();
-    }));
+    });
+  }
+  if (!scanned.ok()) {
+    // Roll the install back; frames a racing seal already queued are
+    // cleared by the next Attach.
+    log_->SetSealObserver(nullptr);
+    return scanned;
   }
 
   {
@@ -80,24 +109,14 @@ Status LogShipper::Attach() {
       frame.first_lsn = catchup_first;
       frame.last_lsn = catchup_last;
       frame.bytes = std::move(catchup);
-      outbox_.push_back(std::move(frame));
+      // Front of the outbox: observer frames that raced the scan carry
+      // strictly higher LSNs, and Pump's cursor must never advance past
+      // LSNs that are not yet in the channel.
+      outbox_.push_front(std::move(frame));
       ++stats_.resyncs;
     }
     attached_ = true;
   }
-  // Lock order is log mutex -> shipper mutex (the observer runs under the
-  // log mutex and takes the shipper mutex), so the observer must be
-  // installed after the shipper mutex is released, never while holding it.
-  log_->SetSealObserver([this](const SealedSegment& segment) {
-    std::lock_guard<std::mutex> inner(mu_);
-    ++stats_.segments_sealed;
-    ShipFrame frame;
-    frame.seq = next_seq_++;
-    frame.first_lsn = segment.first_lsn;
-    frame.last_lsn = segment.last_lsn;
-    frame.bytes = segment.bytes;
-    outbox_.push_back(std::move(frame));
-  });
   return Status::OK();
 }
 

@@ -61,12 +61,14 @@ class LogShipper {
   LogShipper(const LogShipper&) = delete;
   LogShipper& operator=(const LogShipper&) = delete;
 
-  /// Loads the durable cursor (absent = ship from the beginning), builds
-  /// a catch-up frame for any durable records past it, and installs the
-  /// seal observer. Call while no concurrent Force() is in flight: a seal
-  /// landing between the catch-up scan and the observer install would be
-  /// missed (the cases that matter — shipper start / restart — naturally
-  /// attach before the workload resumes).
+  /// Loads the durable cursor (absent = ship from the beginning),
+  /// installs the seal observer — atomically learning the durable LSN at
+  /// the instant of installation (LogManager::InstallSealObserver swaps
+  /// under the seal lock) — and builds a catch-up frame for the durable
+  /// records past the cursor. Safe under concurrent Force(): a seal
+  /// either lands before the install (covered by the catch-up scan) or
+  /// after it (delivered to the observer); there is no window in
+  /// between. Complete Attach before the first Pump.
   Status Attach();
 
   /// Uninstalls the seal observer. Called by the destructor; call it

@@ -1,9 +1,14 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace llb {
 
 Result<std::unique_ptr<LogManager>> LogManager::Open(Env* env,
-                                                     const std::string& name) {
+                                                     const std::string& name,
+                                                     LogManagerOptions options) {
+  if (options.channels == 0) options.channels = 1;
   LLB_ASSIGN_OR_RETURN(std::shared_ptr<File> file,
                        env->OpenFile(name, /*create=*/true));
 
@@ -18,39 +23,226 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(Env* env,
     }
   }
   return std::unique_ptr<LogManager>(
-      new LogManager(env, name, std::move(file), next));
+      new LogManager(env, name, std::move(file), next, options));
 }
 
-Lsn LogManager::Append(LogRecord* record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  record->lsn = next_lsn_++;
-  writer_.Add(*record);
-  if (seal_first_lsn_ == kInvalidLsn) seal_first_lsn_ = record->lsn;
-  last_appended_ = record->lsn;
-  size_t encoded = record->EncodedSize();
-  ++stats_.records;
-  stats_.bytes += encoded;
-  if (record->IsIdentityWrite()) {
-    ++stats_.identity_records;
-    stats_.identity_bytes += encoded;
+LogManager::LogManager(Env* env, std::string name, std::shared_ptr<File> file,
+                       Lsn next_lsn, LogManagerOptions options)
+    : env_(env),
+      name_(std::move(name)),
+      options_(options),
+      file_(std::move(file)),
+      writer_(file_),
+      durable_lsn_(next_lsn - 1),
+      next_lsn_(next_lsn) {
+  if (options_.channels > 1) {
+    channels_.reserve(options_.channels);
+    for (uint32_t i = 0; i < options_.channels; ++i) {
+      channels_.push_back(std::make_unique<LogChannel>());
+    }
+    if (options_.group_commit_interval_us > 0) {
+      advancer_ = std::thread([this] { AdvancerLoop(); });
+    }
   }
+}
+
+LogManager::~LogManager() {
+  if (advancer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watermark_mu_);
+      stop_advancer_ = true;
+    }
+    watermark_cv_.notify_all();
+    advancer_.join();
+  }
+}
+
+LogChannel& LogManager::ChannelForThisThread() {
+  // Threads bind to channels round-robin at first append; the binding is
+  // process-wide (not per-LogManager) which only affects which channel a
+  // thread lands on, never correctness.
+  static std::atomic<uint64_t> next_slot{0};
+  thread_local uint64_t slot = next_slot.fetch_add(1);
+  return *channels_[slot % channels_.size()];
+}
+
+Lsn LogManager::Append(LogRecord* record, Epoch* epoch_out) {
+  if (options_.channels <= 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> issue(issue_mu_);
+      record->lsn = next_lsn_++;
+      if (epoch_out != nullptr) *epoch_out = open_epoch_;
+    }
+    writer_.Add(*record);
+    if (seal_first_lsn_ == kInvalidLsn) seal_first_lsn_ = record->lsn;
+    last_appended_ = record->lsn;
+    size_t encoded = record->EncodedSize();
+    ++stats_.records;
+    stats_.bytes += encoded;
+    if (record->IsIdentityWrite()) {
+      ++stats_.identity_records;
+      stats_.identity_bytes += encoded;
+    }
+    return record->lsn;
+  }
+
+  LogChannel& channel = ChannelForThisThread();
+  // The channel mutex is held across issuance AND buffering: once the
+  // group commit closes epoch E, any record issued in an epoch <= E is
+  // either fully buffered or its appender still holds the channel mutex
+  // the drain must take — the drain never sees a half-buffered epoch.
+  std::lock_guard<std::mutex> lock(channel.mu());
+  Epoch epoch;
+  {
+    std::lock_guard<std::mutex> issue(issue_mu_);
+    record->lsn = next_lsn_++;
+    epoch = open_epoch_;
+  }
+  channel.AddLocked(epoch, *record);
+  if (epoch_out != nullptr) *epoch_out = epoch;
   return record->lsn;
 }
 
 Status LogManager::Force() {
-  std::lock_guard<std::mutex> lock(mu_);
-  LLB_RETURN_IF_ERROR(SealLocked());
+  if (options_.channels <= 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Epoch sealed;
+    {
+      std::lock_guard<std::mutex> issue(issue_mu_);
+      sealed = open_epoch_++;
+    }
+    LLB_RETURN_IF_ERROR(SealLocked(sealed));
+    ++stats_.forces;
+    durable_epoch_.store(sealed, std::memory_order_release);
+    watermark_cv_.notify_all();
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  return GroupCommitLocked();
+}
+
+Status LogManager::GroupCommitLocked() {
+  // Close the open epoch. Everything issued before this point belongs to
+  // an epoch <= sealed and is (or is being) buffered in some channel.
+  Epoch sealed;
+  Lsn tail;
+  {
+    std::lock_guard<std::mutex> issue(issue_mu_);
+    sealed = open_epoch_++;
+    tail = next_lsn_ - 1;
+  }
+
+  std::vector<LogChannel::Pending> entries;
+  for (auto& channel : channels_) channel->Drain(sealed, &entries);
+  std::sort(entries.begin(), entries.end(),
+            [](const LogChannel::Pending& a, const LogChannel::Pending& b) {
+              return a.lsn < b.lsn;
+            });
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!entries.empty()) {
+    // The merged records must continue the log densely up to the LSN
+    // issuance tail captured at the epoch close; a gap means a record
+    // was issued but never buffered — an invariant violation, not an
+    // IO error.
+    Lsn expect =
+        (last_appended_ != kInvalidLsn ? last_appended_ : durable_lsn_) + 1;
+    for (const LogChannel::Pending& entry : entries) {
+      if (entry.lsn != expect) {
+        return Status::Internal("group commit: channel merge gap at lsn " +
+                                std::to_string(expect));
+      }
+      ++expect;
+    }
+    if (entries.back().lsn != tail) {
+      return Status::Internal("group commit: merge does not reach epoch tail");
+    }
+    for (const LogChannel::Pending& entry : entries) {
+      size_t encoded = entry.bytes.size();
+      writer_.AddRaw(Slice(entry.bytes));
+      if (seal_first_lsn_ == kInvalidLsn) seal_first_lsn_ = entry.lsn;
+      last_appended_ = entry.lsn;
+      ++stats_.records;
+      stats_.bytes += encoded;
+      if (entry.identity) {
+        ++stats_.identity_records;
+        stats_.identity_bytes += encoded;
+      }
+    }
+  }
+  LLB_RETURN_IF_ERROR(SealLocked(sealed));
   ++stats_.forces;
+  ++stats_.group_commits;
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> watermark(watermark_mu_);
+    durable_epoch_.store(sealed, std::memory_order_release);
+    advancer_error_ = Status::OK();
+  }
+  watermark_cv_.notify_all();
   return Status::OK();
 }
 
-Status LogManager::SealLocked() {
+Status LogManager::WaitEpochDurable(Epoch epoch) {
+  if (epoch == kInvalidEpoch) return Status::OK();
+  if (durable_epoch() >= epoch) return Status::OK();
+  if (options_.channels <= 1) return Force();
+  if (options_.group_commit_interval_us == 0) {
+    // Caller-driven: lead a commit, or piggyback if a concurrent leader
+    // already published our epoch while we queued on the commit lock.
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    if (durable_epoch() >= epoch) return Status::OK();
+    return GroupCommitLocked();
+  }
+  std::unique_lock<std::mutex> watermark(watermark_mu_);
+  watermark_cv_.wait(watermark, [&] {
+    return durable_epoch() >= epoch || !advancer_error_.ok() || stop_advancer_;
+  });
+  if (durable_epoch() >= epoch) return Status::OK();
+  if (!advancer_error_.ok()) return advancer_error_;
+  return Status::Internal("log manager shut down while waiting for epoch");
+}
+
+Epoch LogManager::CurrentEpoch() const {
+  std::lock_guard<std::mutex> issue(issue_mu_);
+  return open_epoch_;
+}
+
+void LogManager::AdvancerLoop() {
+  const auto interval =
+      std::chrono::microseconds(options_.group_commit_interval_us);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> watermark(watermark_mu_);
+      watermark_cv_.wait_for(watermark, interval,
+                             [&] { return stop_advancer_; });
+      if (stop_advancer_) return;
+    }
+    Status s;
+    {
+      std::lock_guard<std::mutex> commit(commit_mu_);
+      s = GroupCommitLocked();
+    }
+    if (!s.ok()) {
+      {
+        std::lock_guard<std::mutex> watermark(watermark_mu_);
+        advancer_error_ = s;
+      }
+      watermark_cv_.notify_all();
+    }
+  }
+}
+
+Status LogManager::SealLocked(Epoch sealed_epoch) {
   std::string sealed;
   LLB_RETURN_IF_ERROR(writer_.Force(&sealed));
   if (last_appended_ != kInvalidLsn) durable_lsn_ = last_appended_;
   if (!sealed.empty()) {
     SealedSegment segment;
     segment.seq = ++seal_seq_;
+    segment.epoch = sealed_epoch;
     segment.first_lsn = seal_first_lsn_;
     segment.last_lsn = last_appended_;
     segment.bytes = std::move(sealed);
@@ -65,14 +257,47 @@ void LogManager::SetSealObserver(SealObserver observer) {
   seal_observer_ = std::move(observer);
 }
 
+Lsn LogManager::InstallSealObserver(SealObserver observer) {
+  // Seals happen under mu_, so swapping the observer under mu_ and
+  // reading durable_lsn_ in the same critical section gives the caller
+  // an exact cut: LSNs <= the returned value were sealed before the new
+  // observer existed, anything later will fire it.
+  std::lock_guard<std::mutex> lock(mu_);
+  seal_observer_ = std::move(observer);
+  return durable_lsn_;
+}
+
 Status LogManager::AppendSealed(const SealedSegment& segment,
                                 std::vector<LogRecord>* records_out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (segment.first_lsn != next_lsn_) {
+  Lsn next;
+  {
+    std::lock_guard<std::mutex> issue(issue_mu_);
+    next = next_lsn_;
+  }
+  if (segment.epoch != kInvalidEpoch &&
+      segment.epoch <= last_ingested_epoch_) {
+    // Duplicate epoch replay: idempotent iff everything it carries is
+    // already ingested; a stale epoch must not introduce unseen records.
+    if (segment.first_lsn == kInvalidLsn ||
+        (segment.last_lsn != kInvalidLsn && segment.last_lsn < next)) {
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "sealed segment replays epoch " + std::to_string(segment.epoch) +
+        " with records beyond next_lsn " + std::to_string(next));
+  }
+  if (segment.first_lsn == kInvalidLsn && segment.bytes.empty()) {
+    // An idle epoch published with no records: nothing to buffer, just
+    // advance the (epoch, LSN) merge bookkeeping.
+    if (segment.epoch != kInvalidEpoch) last_ingested_epoch_ = segment.epoch;
+    return Status::OK();
+  }
+  if (segment.first_lsn != next) {
     return Status::InvalidArgument(
         "sealed segment not contiguous: first_lsn " +
         std::to_string(segment.first_lsn) + " != next_lsn " +
-        std::to_string(next_lsn_));
+        std::to_string(next));
   }
   // Validate before buffering: framing + CRC, and LSNs dense over
   // [first_lsn, last_lsn]. A torn or rotten segment is rejected whole.
@@ -103,16 +328,25 @@ Status LogManager::AppendSealed(const SealedSegment& segment,
       stats_.identity_bytes += encoded;
     }
   }
-  next_lsn_ = segment.last_lsn + 1;
+  {
+    std::lock_guard<std::mutex> issue(issue_mu_);
+    next_lsn_ = segment.last_lsn + 1;
+  }
   last_appended_ = segment.last_lsn;
+  if (segment.epoch != kInvalidEpoch) last_ingested_epoch_ = segment.epoch;
   if (records_out != nullptr) {
     for (LogRecord& rec : records) records_out->push_back(std::move(rec));
   }
   return Status::OK();
 }
 
-Lsn LogManager::next_lsn() const {
+Epoch LogManager::last_ingested_epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return last_ingested_epoch_;
+}
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> issue(issue_mu_);
   return next_lsn_;
 }
 
@@ -147,11 +381,17 @@ void LogManager::ResetStats() {
 }
 
 Status LogManager::TruncatePrefix(Lsn keep_from) {
+  if (options_.channels > 1) {
+    // Drain the channels through a full group commit first so the file
+    // rewrite below sees every buffered record.
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    LLB_RETURN_IF_ERROR(GroupCommitLocked());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   // Flush buffered records first so the rewrite sees everything. Routed
   // through SealLocked so records sealed by this internal force still
   // reach the seal observer (a shipper must not lose them).
-  LLB_RETURN_IF_ERROR(SealLocked());
+  LLB_RETURN_IF_ERROR(SealLocked(kInvalidEpoch));
 
   LLB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
   std::string contents;

@@ -426,6 +426,35 @@ TEST(FenceProtocolTest, RacingFlushesKeepDecisionCountersExact) {
   ASSERT_OK(torture::VerifyStableOffline(&engine, kInvalidLsn));
 }
 
+// Grouped-commit crash sweeps: log_channels=4 shards the WAL, so crash
+// points land between a channel seal and the epoch publish, and flushes
+// during the sweep take the overlapped three-phase install. Recovery and
+// backup verification must be oblivious to the sharding.
+TEST(CrashSweepTest, BackupScenarioGroupedChannels) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kBackup, WriteGraphKind::kGeneral);
+  scenario.log_channels = 4;
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(SweepOptions{}));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.points_tested, report.total_events);
+  EXPECT_EQ(report.recoveries_verified, report.points_tested);
+  EXPECT_GT(report.backups_verified, 0u);
+}
+
+TEST(CrashSweepTest, LogShippingScenarioGroupedChannels) {
+  ScenarioOptions scenario =
+      SmallScenario(ScenarioKind::kLogShipping, WriteGraphKind::kTree);
+  scenario.log_channels = 4;
+  SweepOptions options;
+  options.max_points = 24;  // single-channel gets the all-points sweep above
+  CrashSweeper sweeper(scenario);
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, sweeper.Sweep(options));
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_LE(report.points_tested, 24u);
+  EXPECT_GT(report.recoveries_verified, report.points_tested);
+}
+
 TEST(ConcurrentTortureTest, UpdatersRaceBackupsAndStatsPoller) {
   ConcurrentTortureOptions options;
   options.seed = 11;
@@ -436,6 +465,26 @@ TEST(ConcurrentTortureTest, UpdatersRaceBackupsAndStatsPoller) {
   options.backup_steps = 8;
   options.backups = 3;
   options.poll_stats = true;
+  ASSERT_OK_AND_ASSIGN(ConcurrentTortureReport report,
+                       RunConcurrentTorture(options));
+  EXPECT_EQ(report.updates_applied,
+            static_cast<uint64_t>(options.partitions) *
+                options.updates_per_thread);
+  EXPECT_EQ(report.backups_completed, options.backups);
+  EXPECT_GT(report.pages_copied, 0u);
+}
+
+TEST(ConcurrentTortureTest, UpdatersRaceBackupsOnGroupedChannels) {
+  ConcurrentTortureOptions options;
+  options.seed = 13;
+  options.partitions = 2;
+  options.pages_per_partition = 64;
+  options.cache_pages = 32;
+  options.updates_per_thread = 200;
+  options.backup_steps = 8;
+  options.backups = 3;
+  options.poll_stats = true;
+  options.log_channels = 4;
   ASSERT_OK_AND_ASSIGN(ConcurrentTortureReport report,
                        RunConcurrentTorture(options));
   EXPECT_EQ(report.updates_applied,

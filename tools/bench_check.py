@@ -31,7 +31,12 @@ Two layers of checks:
      deep-queue speedups (qd8 over qd1 throughput on LatencyEnv(Nvme),
      bench_x11_async_io; EXPERIMENTS.md X11) must meet
      --min-async-speedup (default 2.0x) for both the sweep and the
-     restore direction.
+     restore direction. The derived group-commit updater scaling
+     (4-updater ops/s during an active backup with log_channels=4 over
+     log_channels=1, on the simulated-SSD profile;
+     bench_x4_backup_throughput BM_UpdatersDuringBackup;
+     EXPERIMENTS.md X12) must meet --min-updater-scaling (default
+     2.0x).
 
      With --profile posix the default invariants are replaced by the
      real-file checks: speedup_posix_qd8 and speedup_posix_restore_qd8
@@ -79,6 +84,9 @@ def ratio_metrics(derived):
     sides of that ratio are memcpy-speed on MemEnv and its run-to-run
     noise on shared runners exceeds 15%. It stays gated by the
     --min-speedup invariant floor only, like ship_keepup_ratio.
+    updater_scaling_t4 is likewise invariant-gated only
+    (--min-updater-scaling): contended multi-threaded update loops on
+    shared runners are too noisy for the baseline band.
     """
     return {
         k: v for k, v in derived.items()
@@ -127,6 +135,15 @@ def main():
                              "speedup (sweep and restore) under the "
                              "simulated-NVMe profile "
                              "(bench_x11_async_io; EXPERIMENTS.md X11)")
+    parser.add_argument("--min-updater-scaling", type=float, default=2.0,
+                        help="required 4-updater ops/s scaling of "
+                             "epoch-based group commit (log_channels=4) "
+                             "over the legacy inline-force WAL "
+                             "(log_channels=1) while a backup is "
+                             "continuously active, on the simulated-SSD "
+                             "profile (bench_x4_backup_throughput "
+                             "BM_UpdatersDuringBackup; EXPERIMENTS.md "
+                             "X12)")
     parser.add_argument("--min-posix-speedup", type=float, default=0.9,
                         help="required qd8-vs-qd1 speedup over real "
                              "files (--profile posix); a loose floor — "
@@ -231,6 +248,20 @@ def main():
     else:
         print("bench_check: instant-restore TTFT speedup %.3fx (>= %.2fx)" %
               (ttft, args.min_ttft_speedup))
+
+    scaling = current.get("derived", {}).get("updater_scaling_t4")
+    if scaling is None:
+        failures.append("current file has no updater_scaling_t4 "
+                        "(did bench_x4_backup_throughput "
+                        "BM_UpdatersDuringBackup run?)")
+    elif scaling < args.min_updater_scaling:
+        failures.append(
+            "group-commit updater scaling %.3fx at 4 updaters < "
+            "required %.2fx" % (scaling, args.min_updater_scaling))
+    else:
+        print("bench_check: group-commit updater scaling %.3fx at "
+              "4 updaters (>= %.2fx)" % (scaling,
+                                         args.min_updater_scaling))
 
     for key, what in (("speedup_async_qd8", "async sweep"),
                       ("speedup_async_restore_qd8", "async restore")):

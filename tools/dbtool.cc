@@ -769,10 +769,13 @@ int CmdEnvCaps() {
 int Usage();
 
 int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
-                uint64_t nested_points) {
+                uint64_t nested_points, uint32_t log_channels = 1) {
   ScenarioOptions scenario;
   scenario.kind = kind;
   scenario.seed = seed;
+  // >1 sweeps the epoch group-commit path: crash points land between
+  // "channel sealed" and "epoch published" (the commit's sync event).
+  scenario.log_channels = log_channels;
   // Backup and restore sweep the general-operation path; resume and scrub
   // sweep the tree path, matching the coverage split in torture_test.cc.
   scenario.graph =
@@ -819,8 +822,11 @@ int RunOneSweep(ScenarioKind kind, uint64_t seed, uint64_t max_points,
     }
   };
 
-  printf("sweeping %s scenario (seed=%llu)...\n", ScenarioKindName(kind),
-         static_cast<unsigned long long>(seed));
+  printf("sweeping %s scenario (seed=%llu%s)...\n", ScenarioKindName(kind),
+         static_cast<unsigned long long>(seed),
+         log_channels > 1
+             ? (", log_channels=" + std::to_string(log_channels)).c_str()
+             : "");
   CrashSweeper sweeper(scenario);
   auto report_or = sweeper.Sweep(sweep);
   if (!report_or.ok()) {
@@ -853,24 +859,30 @@ int CmdTorture(const std::string& scenario, uint64_t seed,
   struct Entry {
     const char* name;
     ScenarioKind kind;
+    uint32_t log_channels;
   };
   static const Entry kSweeps[] = {
-      {"backup", ScenarioKind::kBackup},
-      {"resume", ScenarioKind::kResume},
-      {"scrub", ScenarioKind::kScrub},
-      {"restore", ScenarioKind::kRestore},
-      {"batched", ScenarioKind::kBatchedBackup},
-      {"parallel", ScenarioKind::kParallelBackup},
-      {"restore-parallel", ScenarioKind::kParallelRestore},
-      {"log-shipping", ScenarioKind::kLogShipping},
-      {"instant-restore", ScenarioKind::kInstantRestore},
+      {"backup", ScenarioKind::kBackup, 1},
+      {"resume", ScenarioKind::kResume, 1},
+      {"scrub", ScenarioKind::kScrub, 1},
+      {"restore", ScenarioKind::kRestore, 1},
+      {"batched", ScenarioKind::kBatchedBackup, 1},
+      {"parallel", ScenarioKind::kParallelBackup, 1},
+      {"restore-parallel", ScenarioKind::kParallelRestore, 1},
+      {"log-shipping", ScenarioKind::kLogShipping, 1},
+      {"instant-restore", ScenarioKind::kInstantRestore, 1},
+      // Epoch group-commit variants: same scripts over 4 log channels,
+      // so crashes enumerate the sealed-but-unpublished window too.
+      {"backup-grouped", ScenarioKind::kBackup, 4},
+      {"log-shipping-grouped", ScenarioKind::kLogShipping, 4},
   };
   bool matched = false;
   int rc = 0;
   for (const Entry& entry : kSweeps) {
     if (scenario == "all" || scenario == entry.name) {
       matched = true;
-      rc |= RunOneSweep(entry.kind, seed, max_points, nested_points);
+      rc |= RunOneSweep(entry.kind, seed, max_points, nested_points,
+                        entry.log_channels);
     }
   }
   if (scenario == "all" || scenario == "concurrent") {
@@ -946,7 +958,10 @@ int Usage() {
           "      [nested-points=0]\n"
           "      crash-point sweep of a pipeline scenario (backup, resume,\n"
           "      scrub, restore, batched, parallel, restore-parallel,\n"
-          "      log-shipping, instant-restore, concurrent, or all):\n"
+          "      log-shipping, instant-restore, concurrent,\n"
+          "      backup-grouped, log-shipping-grouped, or all); the\n"
+          "      -grouped variants run with log_channels=4 so crash\n"
+          "      points land between channel seal and epoch publish:\n"
           "      run once to count durability events, then crash at each\n"
           "      one, recover, and verify db + completed backups against\n"
           "      the oracle; max-points caps the sweep (0 = every event)\n"
